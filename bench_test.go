@@ -1,0 +1,424 @@
+package eant
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper, regenerating the corresponding rows/series, plus ablation
+// benches for the design choices DESIGN.md calls out. Custom metrics
+// attach the headline quantity of each experiment (energy, savings,
+// error, convergence time) to the benchmark output, so
+// `go test -bench=. -benchmem` doubles as the reproduction record.
+
+import (
+	"testing"
+	"time"
+
+	"eant/internal/core"
+	"eant/internal/experiments"
+	"eant/internal/workload"
+)
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.TableI() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.TableII() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIII(87, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1a(b *testing.B) {
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		crossover = r.Crossover
+	}
+	b.ReportMetric(crossover, "crossover_task/min")
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	var xeonIdleShare float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Machine == "XeonE5" && row.Load == "light" {
+				xeonIdleShare = row.IdleWatts / (row.IdleWatts + row.WorkloadWatts)
+			}
+		}
+	}
+	b.ReportMetric(xeonIdleShare, "xeon_light_idle_frac")
+}
+
+func BenchmarkFig1c(b *testing.B) {
+	var wcPeak float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wcPeak = r.PeakRate[workload.Wordcount]
+	}
+	b.ReportMetric(wcPeak, "wordcount_peak_task/min")
+}
+
+func BenchmarkFig1d(b *testing.B) {
+	var wcMapFrac float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1d()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wcMapFrac = r.Rows[0].Map
+	}
+	b.ReportMetric(wcMapFrac, "wordcount_map_frac")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = r.MaxNRMSE()
+	}
+	b.ReportMetric(100*worst, "max_nrmse_%")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := r.Rows[0].JCT
+		last := r.Rows[len(r.Rows)-1].JCT
+		speedup = float64(first) / float64(last)
+	}
+	b.ReportMetric(speedup, "jct_10%_vs_80%_local")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	var spike float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		spike = r.SpikeRatio()
+	}
+	b.ReportMetric(spike, "noise_spike_ratio")
+}
+
+func BenchmarkFig8a(b *testing.B) {
+	var vsFair, vsTarazu float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(experiments.DefaultFig8Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		vsFair = r.SavingVs(experiments.SchedFair)
+		vsTarazu = r.SavingVs(experiments.SchedTarazu)
+	}
+	b.ReportMetric(vsFair, "saving_vs_fair_%")
+	b.ReportMetric(vsTarazu, "saving_vs_tarazu_%")
+}
+
+func BenchmarkFig8b(b *testing.B) {
+	var t420Shift float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(experiments.DefaultFig8Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fair := r.Result(experiments.SchedFair)
+		eantRes := r.Result(experiments.SchedEAnt)
+		t420Shift = 100 * (eantRes.TypeUtil["T420"] - fair.TypeUtil["T420"])
+	}
+	b.ReportMetric(t420Shift, "t420_util_shift_pp")
+}
+
+func BenchmarkFig8c(b *testing.B) {
+	var worstRatio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(experiments.DefaultFig8Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fair := r.Result(experiments.SchedFair)
+		eantRes := r.Result(experiments.SchedEAnt)
+		worstRatio = 0
+		for label, base := range fair.ClassJCT {
+			if base <= 0 {
+				continue
+			}
+			ratio := float64(eantRes.ClassJCT[label]) / float64(base)
+			if ratio > worstRatio {
+				worstRatio = ratio
+			}
+		}
+	}
+	b.ReportMetric(worstRatio, "worst_jct_vs_fair")
+}
+
+func BenchmarkFig9a(b *testing.B) {
+	var wcShareT420 float64
+	for i := 0; i < b.N; i++ {
+		f8, err := experiments.Fig8(experiments.DefaultFig8Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := experiments.Fig9(f8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wcShareT420 = r.WordcountShare("T420")
+	}
+	b.ReportMetric(wcShareT420, "t420_wordcount_share")
+}
+
+func BenchmarkFig9b(b *testing.B) {
+	var mapFracT420 float64
+	for i := 0; i < b.N; i++ {
+		f8, err := experiments.Fig8(experiments.DefaultFig8Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := experiments.Fig9(f8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byKind := r.ByKind["T420"]
+		total := 0
+		for _, n := range byKind {
+			total += n
+		}
+		if total > 0 {
+			mapFracT420 = float64(byKind[1]) / float64(total)
+		}
+	}
+	b.ReportMetric(mapFracT420, "t420_map_fraction")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	var bothGain float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bothGain = r.FinalSaving[experiments.ExchangeBoth] - r.FinalSaving[experiments.ExchangeNone]
+	}
+	b.ReportMetric(bothGain, "both_vs_none_KJ")
+}
+
+func BenchmarkFig11a(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := r.Rows[len(r.Rows)-1]
+		if row.Converged > 0 {
+			last = row.Convergence.Seconds()
+		}
+	}
+	b.ReportMetric(last, "convergence_8_machines_s")
+}
+
+func BenchmarkFig11b(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := r.Rows[len(r.Rows)-1]
+		if row.Converged > 0 {
+			last = row.Convergence.Seconds()
+		}
+	}
+	b.ReportMetric(last, "convergence_40_jobs_s")
+}
+
+func BenchmarkFig12a(b *testing.B) {
+	var bestBeta float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := r.Rows[0]
+		for _, row := range r.Rows {
+			if row.SavingKJ > best.SavingKJ {
+				best = row
+			}
+		}
+		bestBeta = best.Beta
+	}
+	b.ReportMetric(bestBeta, "best_beta")
+}
+
+func BenchmarkFig12b(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = r.PeakInterval().Seconds()
+	}
+	b.ReportMetric(peak, "peak_interval_s")
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+// ablationRun measures E-Ant total energy on a fixed workload under a
+// parameter mutation, reporting KJ (lower is better).
+func ablationRun(b *testing.B, mutate func(*core.Params)) {
+	b.Helper()
+	var joules float64
+	for i := 0; i < b.N; i++ {
+		params := core.DefaultParams()
+		mutate(&params)
+		noiseCfg := DefaultNoise()
+		r, err := Run(RunSpec{
+			Cluster:    PaperTestbed(),
+			Scheduler:  SchedulerEAnt,
+			EAntParams: &params,
+			Jobs:       MSDWorkload(40, 11),
+			Seed:       11,
+			Noise:      &noiseCfg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		joules = r.TotalJoules
+	}
+	b.ReportMetric(joules/1000, "KJ")
+}
+
+func BenchmarkAblationDefault(b *testing.B) {
+	ablationRun(b, func(*core.Params) {})
+}
+
+func BenchmarkAblationNoNegativeFeedback(b *testing.B) {
+	ablationRun(b, func(p *core.Params) { p.NegativeFeedback = false })
+}
+
+func BenchmarkAblationGreedySelection(b *testing.B) {
+	ablationRun(b, func(p *core.Params) { p.Greedy = true })
+}
+
+func BenchmarkAblationPaperSumDeposits(b *testing.B) {
+	ablationRun(b, func(p *core.Params) { p.SumDeposits = true; p.Gamma = 1 })
+}
+
+func BenchmarkAblationWorkConserving(b *testing.B) {
+	ablationRun(b, func(p *core.Params) { p.AcceptFloor = 1 })
+}
+
+func BenchmarkAblationRho02(b *testing.B) {
+	ablationRun(b, func(p *core.Params) { p.Rho = 0.2 })
+}
+
+func BenchmarkAblationRho08(b *testing.B) {
+	ablationRun(b, func(p *core.Params) { p.Rho = 0.8 })
+}
+
+func BenchmarkAblationNoExchange(b *testing.B) {
+	ablationRun(b, func(p *core.Params) {
+		p.MachineExchange = false
+		p.JobExchange = false
+	})
+}
+
+// BenchmarkConsolidation measures the §VIII future-work extension:
+// covering-subset power management paired with each scheduler.
+func BenchmarkConsolidation(b *testing.B) {
+	var fairGain, eantGain, advantage float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Consolidation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fairGain = r.ConsolidationGain(experiments.SchedFair)
+		eantGain = r.ConsolidationGain(experiments.SchedEAnt)
+		advantage = r.EAntAdvantage()
+	}
+	b.ReportMetric(fairGain, "fair_gain_%")
+	b.ReportMetric(eantGain, "eant_gain_%")
+	b.ReportMetric(advantage, "eant_vs_fair_consolidated_%")
+}
+
+// BenchmarkLATE measures speculative execution's tail cut under heavy
+// stragglers relative to Fair.
+func BenchmarkLATE(b *testing.B) {
+	heavy := NoiseConfig{DurationCV: 0.1, StragglerProb: 0.25, StragglerMin: 4, StragglerMax: 6}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		// Tail-dominated batches: every job's last wave rides on whether
+		// a straggler gets speculated.
+		var jobs []Job
+		for id := 0; id < 6; id++ {
+			jobs = append(jobs, NewJob(id, Wordcount, 3200, 4, time.Duration(id)*10*time.Second))
+		}
+		run := func(s Scheduler) float64 {
+			r, err := Run(RunSpec{
+				Cluster: PaperTestbed(), Scheduler: s, Jobs: jobs, Seed: 5, Noise: &heavy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r.Makespan.Seconds()
+		}
+		speedup = run(SchedulerFair) / run(SchedulerLATE)
+	}
+	b.ReportMetric(speedup, "fair/late_makespan")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: completed
+// tasks per wall-clock second on the MSD workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	jobs := MSDWorkload(40, 1)
+	b.ResetTimer()
+	tasks := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(RunSpec{
+			Cluster:   PaperTestbed(),
+			Scheduler: SchedulerFair,
+			Jobs:      jobs,
+			Seed:      1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks += r.Stats.TasksDone()
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(tasks)/elapsed, "tasks/s")
+	}
+}

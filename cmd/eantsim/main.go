@@ -1,0 +1,373 @@
+// Command eantsim runs the reproduction experiments of "Towards Energy
+// Efficiency in Heterogeneous Hadoop Clusters by Adaptive Task
+// Assignment" (ICDCS 2015) and prints the tables and figure series the
+// paper reports.
+//
+// Usage:
+//
+//	eantsim <experiment> [flags]
+//
+// Experiments: table1 table2 table3 fig1a fig1b fig1c fig1d fig4 fig6
+// fig7 fig8 fig9 fig10 fig11a fig11b fig12a fig12b compare all
+//
+// Flags:
+//
+//	-csv       emit CSV instead of aligned tables
+//	-jobs N    job count for the 'compare' experiment (default 40)
+//	-seed S    seed for the 'compare' experiment (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/core"
+	"eant/internal/experiments"
+	"eant/internal/mapreduce"
+	"eant/internal/noise"
+	"eant/internal/sim"
+	"eant/internal/tabwrite"
+	"eant/internal/trace"
+	"eant/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eantsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jobs := fs.Int("jobs", 40, "job count for 'compare' and 'trace'")
+	seed := fs.Int64("seed", 1, "seed for 'compare' and 'trace'")
+	schedName := fs.String("sched", "E-Ant", "scheduler for 'trace' (FIFO|Fair|Tarazu|LATE|E-Ant)")
+	format := fs.String("format", "jsonl", "output for 'trace': jsonl, csv or summary")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: eantsim <experiment> [flags]")
+		fmt.Fprintln(stderr, "experiments:", allNames())
+		fs.PrintDefaults()
+	}
+	if len(args) < 1 || args[0] == "-h" || args[0] == "-help" || args[0] == "--help" {
+		fs.Usage()
+		return 2
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+
+	emit := func(t *tabwrite.Table) error {
+		if *csv {
+			return t.WriteCSV(stdout)
+		}
+		return t.Write(stdout)
+	}
+
+	if name == "sweep" {
+		t, err := sweepTable(*jobs, *seed)
+		if err != nil {
+			fmt.Fprintf(stderr, "eantsim: sweep: %v\n", err)
+			return 1
+		}
+		if err := emit(t); err != nil {
+			fmt.Fprintf(stderr, "eantsim: sweep: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if name == "trace" {
+		if err := emitTrace(stdout, *jobs, *seed, *schedName, *format); err != nil {
+			fmt.Fprintf(stderr, "eantsim: trace: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	runOne := func(name string) error {
+		tables, err := tablesFor(name, *jobs, *seed)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if name == "all" {
+		for _, n := range allNames() {
+			if n == "all" || n == "compare" || n == "trace" || n == "sweep" {
+				continue
+			}
+			start := time.Now()
+			if err := runOne(n); err != nil {
+				fmt.Fprintf(stderr, "eantsim: %s: %v\n", n, err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "[%s done in %v]\n", n, time.Since(start).Round(time.Millisecond))
+		}
+		return 0
+	}
+	if err := runOne(name); err != nil {
+		fmt.Fprintf(stderr, "eantsim: %s: %v\n", name, err)
+		return 1
+	}
+	return 0
+}
+
+func allNames() []string {
+	return []string{
+		"table1", "table2", "table3",
+		"fig1a", "fig1b", "fig1c", "fig1d",
+		"fig4", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11a", "fig11b", "fig12a", "fig12b",
+		"consolidation", "compare", "trace", "sweep", "all",
+	}
+}
+
+// tablesFor runs one experiment and returns its renderable tables.
+func tablesFor(name string, jobs int, seed int64) ([]*tabwrite.Table, error) {
+	one := func(t *tabwrite.Table, err error) ([]*tabwrite.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*tabwrite.Table{t}, nil
+	}
+	switch name {
+	case "table1", "machines":
+		return one(experiments.TableI(), nil)
+	case "table2":
+		return one(experiments.TableII(), nil)
+	case "table3", "msd-spec":
+		t, err := experiments.TableIII(87, seed)
+		return one(t, err)
+	case "fig1a":
+		r, err := experiments.Fig1a()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig1b":
+		r, err := experiments.Fig1b()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig1c":
+		r, err := experiments.Fig1c()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig1d":
+		r, err := experiments.Fig1d()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig4":
+		r, err := experiments.Fig4()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig6":
+		r, err := experiments.Fig6()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig7":
+		r, err := experiments.Fig7()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig8":
+		r, err := experiments.Fig8(experiments.DefaultFig8Config())
+		if err != nil {
+			return nil, err
+		}
+		return []*tabwrite.Table{r.TableA(), r.TableB(), r.TableC()}, nil
+	case "fig9":
+		f8, err := experiments.Fig8(experiments.DefaultFig8Config())
+		if err != nil {
+			return nil, err
+		}
+		r, err := experiments.Fig9(f8)
+		if err != nil {
+			return nil, err
+		}
+		return []*tabwrite.Table{r.TableA(), r.TableB()}, nil
+	case "fig10":
+		r, err := experiments.Fig10()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig11a":
+		r, err := experiments.Fig11a()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig11b":
+		r, err := experiments.Fig11b()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig12a":
+		r, err := experiments.Fig12a()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "fig12b":
+		r, err := experiments.Fig12b()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "consolidation":
+		r, err := experiments.Consolidation()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "compare":
+		return compareTable(jobs, seed)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (try one of %v)", name, allNames())
+	}
+}
+
+// sweepTable grids E-Ant's (ρ, β) space on one MSD workload, reporting
+// total energy per cell relative to the Fair baseline.
+func sweepTable(jobs int, seed int64) (*tabwrite.Table, error) {
+	msd, err := workload.GenerateMSD(workload.MSDConfig{
+		Jobs: jobs, Scale: experiments.ScaleDown, MeanInterarrival: 30 * time.Second,
+	}, sim.NewRNG(seed).Fork("experiments"))
+	if err != nil {
+		return nil, err
+	}
+	runWith := func(schedName experiments.SchedulerName, params core.Params) (float64, error) {
+		cfg := mapreduce.DefaultConfig()
+		cfg.ControlInterval = experiments.DefaultControlInterval
+		cfg.Seed = seed
+		cfg.Noise = noise.Default()
+		stats, err := experiments.Campaign{
+			Cluster: cluster.Testbed(), Sched: schedName, Params: params,
+			Jobs: msd, Config: cfg,
+		}.Run()
+		if err != nil {
+			return 0, err
+		}
+		return stats.TotalJoules, nil
+	}
+	baseline, err := runWith(experiments.SchedFair, core.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	rhos := []float64{0.2, 0.5, 0.8}
+	betas := []float64{0, 0.1, 0.2, 0.4}
+	t := tabwrite.New(
+		fmt.Sprintf("E-Ant (ρ, β) sweep — %d MSD jobs, seed %d; cells: saving vs Fair %%", jobs, seed),
+		"rho \\ beta", "0", "0.1", "0.2", "0.4")
+	for _, rho := range rhos {
+		row := []any{fmt.Sprintf("%.1f", rho)}
+		for _, beta := range betas {
+			params := core.DefaultParams()
+			params.Rho = rho
+			params.Beta = beta
+			j, err := runWith(experiments.SchedEAnt, params)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, tabwrite.Cell(100*(baseline-j)/baseline, 1))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// emitTrace runs one MSD campaign and streams it in the chosen format.
+func emitTrace(w io.Writer, jobs int, seed int64, schedName, format string) error {
+	msd, err := workload.GenerateMSD(workload.MSDConfig{
+		Jobs: jobs, Scale: experiments.ScaleDown, MeanInterarrival: 45 * time.Second,
+	}, sim.NewRNG(seed).Fork("experiments"))
+	if err != nil {
+		return err
+	}
+	cfg := mapreduce.DefaultConfig()
+	cfg.ControlInterval = experiments.DefaultControlInterval
+	cfg.Seed = seed
+	cfg.Noise = noise.Default()
+	cfg.KeepTaskRecords = format != "summary"
+	stats, err := experiments.Campaign{
+		Cluster: cluster.Testbed(),
+		Sched:   experiments.SchedulerName(schedName),
+		Params:  core.DefaultParams(),
+		Jobs:    msd,
+		Config:  cfg,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "jsonl":
+		return trace.WriteJSONL(w, stats)
+	case "csv":
+		return trace.WriteTasksCSV(w, stats)
+	case "summary":
+		return trace.WriteSummary(w, stats)
+	default:
+		return fmt.Errorf("unknown trace format %q (jsonl|csv|summary)", format)
+	}
+}
+
+// compareTable runs a quick ad-hoc MSD comparison across all schedulers.
+func compareTable(jobs int, seed int64) ([]*tabwrite.Table, error) {
+	cfg := experiments.Fig8Config{
+		Jobs:             jobs,
+		Seeds:            1,
+		MeanInterarrival: 45 * time.Second,
+	}
+	r, err := experiments.Fig8(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := tabwrite.New(
+		fmt.Sprintf("Scheduler comparison — %d MSD jobs, seed %d", jobs, seed),
+		"scheduler", "total KJ", "makespan", "saving vs Fair %")
+	fair := r.Result(experiments.SchedFair)
+	var rows []struct {
+		name   string
+		joules float64
+		span   time.Duration
+	}
+	for _, sr := range r.Results {
+		rows = append(rows, struct {
+			name   string
+			joules float64
+			span   time.Duration
+		}{string(sr.Sched), sr.TotalJoules, sr.Makespan})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].joules < rows[j].joules })
+	for _, row := range rows {
+		saving := "-"
+		if fair != nil && fair.TotalJoules > 0 && row.name != string(experiments.SchedFair) {
+			saving = tabwrite.Cell(100*(fair.TotalJoules-row.joules)/fair.TotalJoules, 1)
+		}
+		t.AddRow(row.name, tabwrite.Cell(row.joules/1000, 0), row.span.Round(time.Second).String(), saving)
+	}
+	return []*tabwrite.Table{t}, nil
+}

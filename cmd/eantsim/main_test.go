@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestCLITables(t *testing.T) {
+	for _, name := range []string{"table1", "table2", "table3", "machines", "msd-spec"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out, _, code := runCLI(t, name)
+			if code != 0 {
+				t.Fatalf("exit %d", code)
+			}
+			if len(out) == 0 {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func TestCLIFigure(t *testing.T) {
+	out, _, code := runCLI(t, "fig1d")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "Wordcount") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+}
+
+func TestCLICSVMode(t *testing.T) {
+	out, _, code := runCLI(t, "table1", "-csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "model,cores,") {
+		t.Errorf("not CSV:\n%s", out)
+	}
+}
+
+func TestCLICompare(t *testing.T) {
+	out, _, code := runCLI(t, "compare", "-jobs", "8", "-seed", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"E-Ant", "Fair", "Tarazu", "FIFO", "8 MSD jobs, seed 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLITraceFormats(t *testing.T) {
+	out, _, code := runCLI(t, "trace", "-jobs", "3", "-format", "summary")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, `"scheduler": "E-Ant"`) {
+		t.Errorf("bad summary:\n%s", out)
+	}
+	out, _, code = runCLI(t, "trace", "-jobs", "3", "-format", "csv", "-sched", "Fair")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "job_id,") {
+		t.Errorf("bad CSV:\n%s", out)
+	}
+	_, errOut, code := runCLI(t, "trace", "-format", "yaml")
+	if code == 0 {
+		t.Error("unknown format accepted")
+	}
+	if !strings.Contains(errOut, "unknown trace format") {
+		t.Errorf("unhelpful error: %s", errOut)
+	}
+}
+
+func TestCLIUnknownExperiment(t *testing.T) {
+	_, errOut, code := runCLI(t, "fig99")
+	if code == 0 {
+		t.Error("unknown experiment accepted")
+	}
+	if !strings.Contains(errOut, "unknown experiment") {
+		t.Errorf("unhelpful error: %s", errOut)
+	}
+}
+
+func TestCLINoArgs(t *testing.T) {
+	_, errOut, code := runCLI(t)
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "usage:") {
+		t.Errorf("no usage text: %s", errOut)
+	}
+}
+
+func TestCLISweep(t *testing.T) {
+	out, _, code := runCLI(t, "sweep", "-jobs", "6", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "sweep") || !strings.Contains(out, "0.1") {
+		t.Errorf("missing sweep grid:\n%s", out)
+	}
+}

@@ -1,0 +1,313 @@
+// Package eant is a simulation library for studying energy-aware task
+// assignment in heterogeneous Hadoop clusters. It reproduces E-Ant, the
+// ant-colony-optimization scheduler of Cheng et al., "Towards Energy
+// Efficiency in Heterogeneous Hadoop Clusters by Adaptive Task
+// Assignment" (IEEE ICDCS 2015), together with the substrate the paper
+// runs on: a discrete-event Hadoop 1.x cluster simulator with
+// heterogeneous machine power envelopes, HDFS block placement, PUMA
+// workload profiles, and the Fair, Tarazu, LATE, Capacity and FIFO
+// baseline schedulers. Server consolidation (the paper's stated future
+// work) is available through RunSpec.Consolidation.
+//
+// # Quick start
+//
+//	cluster := eant.PaperTestbed()
+//	jobs := eant.MSDWorkload(87, 1)
+//	result, err := eant.Run(eant.RunSpec{
+//		Cluster:   cluster,
+//		Scheduler: eant.SchedulerEAnt,
+//		Jobs:      jobs,
+//	})
+//	fmt.Printf("total energy: %.1f MJ over %v\n",
+//		result.TotalJoules/1e6, result.Makespan)
+//
+// The library is deterministic: identical RunSpecs (including Seed)
+// produce identical results. All simulated quantities — task durations,
+// CPU utilization, energy — derive from the calibrated machine catalog
+// in internal/cluster and the workload profiles in internal/workload;
+// DESIGN.md documents the calibration against the paper's published
+// behaviour, and EXPERIMENTS.md records the reproduction of every table
+// and figure.
+package eant
+
+import (
+	"fmt"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/core"
+	"eant/internal/mapreduce"
+	"eant/internal/noise"
+	"eant/internal/sched"
+	"eant/internal/sim"
+	"eant/internal/workload"
+)
+
+// Scheduler selects the task-assignment policy of a run.
+type Scheduler string
+
+// Available schedulers.
+const (
+	// SchedulerEAnt is the paper's contribution: ACO-based adaptive,
+	// energy-aware task assignment.
+	SchedulerEAnt Scheduler = "E-Ant"
+	// SchedulerFair is the Hadoop Fair Scheduler (heterogeneity-
+	// oblivious baseline).
+	SchedulerFair Scheduler = "Fair"
+	// SchedulerTarazu is the communication-aware load balancer of Ahmad
+	// et al. (performance-aware, energy-oblivious baseline).
+	SchedulerTarazu Scheduler = "Tarazu"
+	// SchedulerFIFO is default Hadoop (job-arrival order).
+	SchedulerFIFO Scheduler = "FIFO"
+	// SchedulerLATE adds speculative re-execution of stragglers to Fair
+	// assignment (Zaharia et al., OSDI'08).
+	SchedulerLATE Scheduler = "LATE"
+	// SchedulerCapacity is the Hadoop Capacity Scheduler with a single
+	// default queue (FIFO within the queue).
+	SchedulerCapacity Scheduler = "Capacity"
+)
+
+// Schedulers lists every available policy.
+func Schedulers() []Scheduler {
+	return []Scheduler{SchedulerEAnt, SchedulerFair, SchedulerTarazu, SchedulerLATE, SchedulerCapacity, SchedulerFIFO}
+}
+
+// App identifies a PUMA benchmark application.
+type App = workload.App
+
+// The PUMA applications of the paper's evaluation.
+const (
+	Wordcount = workload.Wordcount
+	Grep      = workload.Grep
+	Terasort  = workload.Terasort
+)
+
+// Job describes one MapReduce job to submit.
+type Job = workload.JobSpec
+
+// NewJob builds a job: app over inputMB of data (one map task per 64 MB
+// block), numReduces reduce tasks, submitted at the given virtual time.
+func NewJob(id int, app App, inputMB float64, numReduces int, submit time.Duration) Job {
+	return workload.NewJobSpec(id, app, inputMB, numReduces, submit)
+}
+
+// MSDWorkload generates the paper's §V-C Microsoft-derived synthetic
+// workload: jobs drawn from Table III's size classes (scaled 1/64 so runs
+// finish in seconds), applications rotating over Wordcount, Grep and
+// Terasort, Poisson arrivals. Deterministic per seed.
+func MSDWorkload(jobs int, seed int64) []Job {
+	specs, err := workload.GenerateMSD(workload.MSDConfig{
+		Jobs:             jobs,
+		Scale:            64,
+		MeanInterarrival: 45 * time.Second,
+	}, sim.NewRNG(seed))
+	if err != nil {
+		panic(err) // only reachable with non-positive jobs
+	}
+	return specs
+}
+
+// Cluster is a heterogeneous machine fleet.
+type Cluster = cluster.Cluster
+
+// MachineSpec describes one hardware type.
+type MachineSpec = cluster.TypeSpec
+
+// PaperTestbed returns the paper's 16-node §V-B fleet: 8 Dell desktops,
+// 3 T110, 2 T420, 1 T320, 1 T620, 1 Atom.
+func PaperTestbed() *Cluster { return cluster.Testbed() }
+
+// NewCluster builds a fleet from (spec, count) groups.
+func NewCluster(groups ...ClusterGroup) (*Cluster, error) {
+	gs := make([]cluster.Group, len(groups))
+	for i, g := range groups {
+		gs[i] = cluster.Group{Spec: g.Spec, Count: g.Count}
+	}
+	return cluster.New(gs...)
+}
+
+// ClusterGroup pairs a machine spec with a replica count.
+type ClusterGroup struct {
+	Spec  *MachineSpec
+	Count int
+}
+
+// MachineSpecs returns the calibrated catalog of the paper's machine
+// types (Desktop, XeonE5, T420, T110, T320, T620, Atom).
+func MachineSpecs() []*MachineSpec { return cluster.AllSpecs() }
+
+// EAntParams are E-Ant's tuning knobs; see DefaultEAntParams.
+type EAntParams = core.Params
+
+// DefaultEAntParams returns the paper's configuration (ρ = 0.5, β = 0.1,
+// both exchange strategies on).
+func DefaultEAntParams() EAntParams { return core.DefaultParams() }
+
+// NoiseConfig controls system-noise injection (stragglers, duration
+// jitter, CPU-measurement fluctuation).
+type NoiseConfig = noise.Config
+
+// DefaultNoise returns the evaluation noise calibration; NoNoise disables
+// all noise.
+func DefaultNoise() NoiseConfig { return noise.Default() }
+
+// NoNoise returns the noise-free configuration.
+func NoNoise() NoiseConfig { return noise.Off() }
+
+// RunSpec configures one simulated campaign.
+type RunSpec struct {
+	// Cluster to run on; required.
+	Cluster *Cluster
+	// Scheduler; required.
+	Scheduler Scheduler
+	// EAntParams tunes E-Ant; zero value means DefaultEAntParams.
+	// Ignored by the baselines.
+	EAntParams *EAntParams
+	// Jobs to run; required.
+	Jobs []Job
+	// Seed drives every random stream (default 0 — still deterministic).
+	Seed int64
+	// Noise injects system noise; nil means DefaultNoise.
+	Noise *NoiseConfig
+	// ControlInterval is E-Ant's policy-refresh period. Zero means 30 s,
+	// matching the 1/64-scaled workloads (the paper's unscaled interval
+	// is 5 min).
+	ControlInterval time.Duration
+	// Horizon optionally caps the virtual duration; zero means run to
+	// completion (capped at 48 h as a runaway guard).
+	Horizon time.Duration
+	// KeepTaskRecords retains a per-task record in the result.
+	KeepTaskRecords bool
+	// Consolidation, when non-nil, enables server power management: idle
+	// machines outside a covering subset sleep and wake on demand (the
+	// paper's §VIII future work). Zero-value fields take defaults.
+	Consolidation *Consolidation
+}
+
+// Consolidation configures server power management; see
+// mapreduce.PowerMgmt for field semantics.
+type Consolidation = mapreduce.PowerMgmt
+
+// Result is the outcome of a Run. Stats exposes the full per-run
+// statistics (task tallies, timelines, per-machine energy).
+type Result struct {
+	// TotalJoules is fleet-wide metered energy over the campaign.
+	TotalJoules float64
+	// Makespan is the virtual time from first submission to last task.
+	Makespan time.Duration
+	// JobsCompleted counts finished jobs.
+	JobsCompleted int
+	// TypeJoules and TypeUtilization group energy and mean CPU
+	// utilization by machine type.
+	TypeJoules      map[string]float64
+	TypeUtilization map[string]float64
+	// Stats is the full statistics record.
+	Stats *mapreduce.Stats
+}
+
+// Run executes the campaign described by spec.
+func Run(spec RunSpec) (*Result, error) {
+	if spec.Cluster == nil {
+		return nil, fmt.Errorf("eant: RunSpec.Cluster is required")
+	}
+	if len(spec.Jobs) == 0 {
+		return nil, fmt.Errorf("eant: RunSpec.Jobs is empty")
+	}
+	var s mapreduce.Scheduler
+	switch spec.Scheduler {
+	case SchedulerEAnt:
+		params := core.DefaultParams()
+		if spec.EAntParams != nil {
+			params = *spec.EAntParams
+		}
+		e, err := core.NewEAnt(params)
+		if err != nil {
+			return nil, fmt.Errorf("eant: %w", err)
+		}
+		s = e
+	case SchedulerFair:
+		s = sched.NewFair()
+	case SchedulerTarazu:
+		s = sched.NewTarazu()
+	case SchedulerFIFO:
+		s = sched.NewFIFO()
+	case SchedulerLATE:
+		s = sched.NewLATE()
+	case SchedulerCapacity:
+		var err error
+		s, err = sched.NewCapacity(nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("eant: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("eant: unknown scheduler %q", spec.Scheduler)
+	}
+
+	cfg := mapreduce.DefaultConfig()
+	cfg.Seed = spec.Seed
+	cfg.KeepTaskRecords = spec.KeepTaskRecords
+	if spec.Consolidation != nil {
+		cfg.Power = *spec.Consolidation
+		cfg.Power.Enabled = true
+	}
+	if spec.ControlInterval > 0 {
+		cfg.ControlInterval = spec.ControlInterval
+	} else {
+		cfg.ControlInterval = 30 * time.Second
+	}
+	if spec.Noise != nil {
+		cfg.Noise = *spec.Noise
+	} else {
+		cfg.Noise = noise.Default()
+	}
+
+	driver, err := mapreduce.NewDriver(spec.Cluster, s, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eant: %w", err)
+	}
+	horizon := spec.Horizon
+	if horizon <= 0 {
+		horizon = 48 * time.Hour
+	}
+	stats, err := driver.Run(spec.Jobs, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("eant: %w", err)
+	}
+	return &Result{
+		TotalJoules:     stats.TotalJoules,
+		Makespan:        stats.Horizon,
+		JobsCompleted:   len(stats.Jobs),
+		TypeJoules:      stats.TypeJoules,
+		TypeUtilization: stats.TypeAvgUtil,
+		Stats:           stats,
+	}, nil
+}
+
+// Compare runs the same jobs under several schedulers and returns the
+// results keyed by scheduler, plus E-Ant's saving in percent over each
+// baseline (positive = E-Ant used less energy).
+func Compare(spec RunSpec, schedulers ...Scheduler) (map[Scheduler]*Result, map[Scheduler]float64, error) {
+	if len(schedulers) == 0 {
+		schedulers = Schedulers()
+	}
+	results := make(map[Scheduler]*Result, len(schedulers))
+	for _, s := range schedulers {
+		run := spec
+		run.Scheduler = s
+		r, err := Run(run)
+		if err != nil {
+			return nil, nil, fmt.Errorf("eant: %s: %w", s, err)
+		}
+		results[s] = r
+	}
+	savings := make(map[Scheduler]float64)
+	if eantRes, ok := results[SchedulerEAnt]; ok {
+		for s, r := range results {
+			if s == SchedulerEAnt || r.TotalJoules <= 0 {
+				continue
+			}
+			savings[s] = 100 * (r.TotalJoules - eantRes.TotalJoules) / r.TotalJoules
+		}
+	}
+	return results, savings, nil
+}

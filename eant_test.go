@@ -1,0 +1,172 @@
+package eant
+
+import (
+	"testing"
+	"time"
+)
+
+func quickSpec(s Scheduler) RunSpec {
+	return RunSpec{
+		Cluster:   PaperTestbed(),
+		Scheduler: s,
+		Jobs:      MSDWorkload(10, 1),
+		Seed:      1,
+	}
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	for _, s := range Schedulers() {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			r, err := Run(quickSpec(s))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if r.JobsCompleted != 10 {
+				t.Errorf("completed %d/10 jobs", r.JobsCompleted)
+			}
+			if r.TotalJoules <= 0 || r.Makespan <= 0 {
+				t.Error("empty result")
+			}
+			if len(r.TypeJoules) == 0 || len(r.TypeUtilization) == 0 {
+				t.Error("missing per-type aggregates")
+			}
+			if r.Stats == nil {
+				t.Error("missing Stats")
+			}
+		})
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunSpec{Scheduler: SchedulerFair, Jobs: MSDWorkload(1, 1)}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := Run(RunSpec{Cluster: PaperTestbed(), Scheduler: SchedulerFair}); err == nil {
+		t.Error("empty jobs accepted")
+	}
+	spec := quickSpec("Mystery")
+	if _, err := Run(spec); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	bad := DefaultEAntParams()
+	bad.Rho = 5
+	spec = quickSpec(SchedulerEAnt)
+	spec.EAntParams = &bad
+	if _, err := Run(spec); err == nil {
+		t.Error("invalid E-Ant params accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(quickSpec(SchedulerEAnt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickSpec(SchedulerEAnt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalJoules != b.TotalJoules || a.Makespan != b.Makespan {
+		t.Errorf("identical specs diverged: %v/%v vs %v/%v",
+			a.TotalJoules, a.Makespan, b.TotalJoules, b.Makespan)
+	}
+}
+
+func TestMSDWorkloadShape(t *testing.T) {
+	jobs := MSDWorkload(87, 7)
+	if len(jobs) != 87 {
+		t.Fatalf("generated %d jobs", len(jobs))
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("invalid job: %v", err)
+		}
+	}
+}
+
+func TestNewJobAndCustomCluster(t *testing.T) {
+	specs := MachineSpecs()
+	if len(specs) == 0 {
+		t.Fatal("empty catalog")
+	}
+	c, err := NewCluster(
+		ClusterGroup{Spec: specs[0], Count: 2},
+	)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	r, err := Run(RunSpec{
+		Cluster:   c,
+		Scheduler: SchedulerFIFO,
+		Jobs:      []Job{NewJob(0, Wordcount, 640, 2, 0)},
+		Noise:     ptr(NoNoise()),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.JobsCompleted != 1 {
+		t.Error("job did not complete")
+	}
+}
+
+func TestRunHorizonCap(t *testing.T) {
+	spec := quickSpec(SchedulerFair)
+	spec.Horizon = time.Minute
+	r, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != time.Minute {
+		t.Errorf("makespan = %v, want capped 1m", r.Makespan)
+	}
+}
+
+func TestCompareProducesSavings(t *testing.T) {
+	spec := RunSpec{
+		Cluster: PaperTestbed(),
+		Jobs:    MSDWorkload(20, 3),
+		Seed:    3,
+	}
+	results, savings, err := Compare(spec, SchedulerEAnt, SchedulerFair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if _, ok := savings[SchedulerFair]; !ok {
+		t.Error("no saving computed vs Fair")
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func TestRunWithConsolidation(t *testing.T) {
+	jobs := MSDWorkload(8, 2)
+	// Double the arrival spacing so lulls exist.
+	for i := range jobs {
+		jobs[i].Submit *= 3
+	}
+	base := RunSpec{Cluster: PaperTestbed(), Scheduler: SchedulerEAnt, Jobs: jobs, Seed: 2}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := base
+	cons.Consolidation = &Consolidation{}
+	saved, err := Run(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Stats.Sleeps == 0 {
+		t.Error("no machines slept under consolidation")
+	}
+	if saved.TotalJoules >= plain.TotalJoules {
+		t.Errorf("consolidated %v J not below always-on %v J",
+			saved.TotalJoules, plain.TotalJoules)
+	}
+	if saved.JobsCompleted != plain.JobsCompleted {
+		t.Errorf("job counts differ: %d vs %d", saved.JobsCompleted, plain.JobsCompleted)
+	}
+}

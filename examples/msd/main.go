@@ -1,0 +1,77 @@
+// MSD campaign: run the paper's full §V-C Microsoft-derived synthetic
+// workload (87 jobs) on the 16-node testbed under every scheduler and
+// print per-machine-type energy — the Fig. 8a experiment as a standalone
+// program.
+//
+//	go run ./examples/msd [-jobs 87] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"eant"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 87, "MSD job count")
+	seed := flag.Int64("seed", 1, "workload and simulation seed")
+	flag.Parse()
+	if err := run(*jobs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "msd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(jobs int, seed int64) error {
+	workload := eant.MSDWorkload(jobs, seed)
+	fmt.Printf("MSD workload: %d jobs on the 16-node testbed (seed %d)\n\n", jobs, seed)
+
+	results, savings, err := eant.Compare(eant.RunSpec{
+		Cluster: eant.PaperTestbed(),
+		Jobs:    workload,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Stable machine-type order for the report.
+	var types []string
+	for name := range results[eant.SchedulerFair].TypeJoules {
+		types = append(types, name)
+	}
+	sort.Strings(types)
+
+	order := []eant.Scheduler{eant.SchedulerFIFO, eant.SchedulerFair, eant.SchedulerTarazu, eant.SchedulerEAnt}
+	fmt.Printf("%-10s", "machine")
+	for _, s := range order {
+		fmt.Printf("%12s", s)
+	}
+	fmt.Println(" (KJ)")
+	for _, name := range types {
+		fmt.Printf("%-10s", name)
+		for _, s := range order {
+			fmt.Printf("%12.0f", results[s].TypeJoules[name]/1000)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s", "TOTAL")
+	for _, s := range order {
+		fmt.Printf("%12.0f", results[s].TotalJoules/1000)
+	}
+	fmt.Println()
+
+	fmt.Println()
+	for _, s := range order {
+		fmt.Printf("%-8s makespan %v\n", s, results[s].Makespan.Round(time.Second))
+	}
+	fmt.Println()
+	for s, pct := range savings {
+		fmt.Printf("E-Ant saving vs %-8s %+.1f%%\n", s, pct)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module eant
+
+go 1.22

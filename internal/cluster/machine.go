@@ -1,0 +1,305 @@
+// Package cluster models the heterogeneous machine fleet of a Hadoop 1.x
+// cluster: per-type hardware capability, the power envelope (idle watts plus
+// a linear utilization slope, the model the paper identifies with least
+// squares), and map/reduce slot accounting.
+//
+// The shipped catalog reproduces the paper's testbed: the Table I case-study
+// pair (Core i7 desktop, Xeon E5 PowerEdge) and the §V-B fleet (8 Dell
+// desktops, 3 T110, 2 T420, 1 T320, 1 T620, 1 Atom).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TypeSpec describes one hardware generation. SpeedFactor is the per-core
+// throughput relative to the reference core (the desktop's 3.4 GHz i7 core
+// is 1.0). IdleWatts and AlphaWatts define the machine power envelope
+//
+//	P = IdleWatts + AlphaWatts · U
+//
+// where U ∈ [0, 1] is whole-machine CPU utilization; this is the linear
+// model the paper fits per machine type (§IV-B).
+type TypeSpec struct {
+	Name        string
+	Cores       int
+	SpeedFactor float64
+	MemoryGB    int
+	DiskMBps    float64 // aggregate local-disk bandwidth
+	NetMBps     float64 // NIC bandwidth (GbE ≈ 117 MB/s)
+	IdleWatts   float64
+	AlphaWatts  float64
+	MapSlots    int
+	ReduceSlots int
+}
+
+// Slots returns the total concurrent task capacity (m_slot in Eq. 1/2).
+func (s *TypeSpec) Slots() int { return s.MapSlots + s.ReduceSlots }
+
+// PowerAt returns the machine power draw in watts at utilization u,
+// clamping u into [0, 1].
+func (s *TypeSpec) PowerAt(u float64) float64 {
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	return s.IdleWatts + s.AlphaWatts*u
+}
+
+// PeakWatts returns the draw at full utilization.
+func (s *TypeSpec) PeakWatts() float64 { return s.IdleWatts + s.AlphaWatts }
+
+// Validate reports the first structural problem with the spec.
+func (s *TypeSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("cluster: spec has empty name")
+	case s.Cores <= 0:
+		return fmt.Errorf("cluster: spec %q has %d cores", s.Name, s.Cores)
+	case s.SpeedFactor <= 0:
+		return fmt.Errorf("cluster: spec %q has non-positive speed factor", s.Name)
+	case s.DiskMBps <= 0 || s.NetMBps <= 0:
+		return fmt.Errorf("cluster: spec %q has non-positive bandwidth", s.Name)
+	case s.IdleWatts < 0 || s.AlphaWatts < 0:
+		return fmt.Errorf("cluster: spec %q has negative power coefficients", s.Name)
+	case s.MapSlots <= 0 || s.ReduceSlots < 0:
+		return fmt.Errorf("cluster: spec %q has invalid slot counts", s.Name)
+	}
+	return nil
+}
+
+// Machine is one slave node. Slot occupancy is plain state mutated by the
+// single-threaded simulation loop; Machine is not safe for concurrent use.
+type Machine struct {
+	ID   int
+	Spec *TypeSpec
+
+	runningMap    int
+	runningReduce int
+
+	// util is the current whole-machine CPU utilization contributed by
+	// running tasks (Σ per-task machine share), piecewise constant
+	// between task start/finish events.
+	util float64
+
+	// asleep marks a consolidated (powered-down) machine; sleepWatts is
+	// its standby draw. Set through Sleep/Wake by the power-management
+	// policy.
+	asleep     bool
+	sleepWatts float64
+}
+
+// NewMachine returns a machine of the given type.
+func NewMachine(id int, spec *TypeSpec) *Machine {
+	if spec == nil {
+		panic("cluster: NewMachine with nil spec")
+	}
+	return &Machine{ID: id, Spec: spec}
+}
+
+// String identifies the machine for logs: "T420#3".
+func (m *Machine) String() string { return fmt.Sprintf("%s#%d", m.Spec.Name, m.ID) }
+
+// FreeMapSlots returns the number of unoccupied map slots.
+func (m *Machine) FreeMapSlots() int { return m.Spec.MapSlots - m.runningMap }
+
+// FreeReduceSlots returns the number of unoccupied reduce slots.
+func (m *Machine) FreeReduceSlots() int { return m.Spec.ReduceSlots - m.runningReduce }
+
+// RunningMap returns the number of occupied map slots.
+func (m *Machine) RunningMap() int { return m.runningMap }
+
+// RunningReduce returns the number of occupied reduce slots.
+func (m *Machine) RunningReduce() int { return m.runningReduce }
+
+// Running returns the total number of occupied slots.
+func (m *Machine) Running() int { return m.runningMap + m.runningReduce }
+
+// Utilization returns the current whole-machine CPU utilization in [0, 1].
+func (m *Machine) Utilization() float64 { return m.util }
+
+// Power returns the current draw in watts: the standby draw while asleep,
+// the envelope P_idle + α·U otherwise.
+func (m *Machine) Power() float64 {
+	if m.asleep {
+		return m.sleepWatts
+	}
+	return m.Spec.PowerAt(m.util)
+}
+
+// Asleep reports whether the machine is powered down.
+func (m *Machine) Asleep() bool { return m.asleep }
+
+// Sleep powers the machine down to the given standby draw. Sleeping with
+// tasks running is a policy bug and panics.
+func (m *Machine) Sleep(standbyWatts float64) {
+	if m.Running() > 0 {
+		panic(fmt.Sprintf("cluster: %s put to sleep with %d running tasks", m, m.Running()))
+	}
+	if standbyWatts < 0 {
+		standbyWatts = 0
+	}
+	m.asleep = true
+	m.sleepWatts = standbyWatts
+}
+
+// Wake powers the machine back up. Idempotent.
+func (m *Machine) Wake() { m.asleep = false }
+
+// AcquireMap claims a map slot and adds the task's CPU share. It returns
+// false without side effects when no map slot is free.
+func (m *Machine) AcquireMap(cpuShare float64) bool {
+	if m.runningMap >= m.Spec.MapSlots {
+		return false
+	}
+	m.runningMap++
+	m.addUtil(cpuShare)
+	return true
+}
+
+// AcquireReduce claims a reduce slot and adds the task's CPU share. It
+// returns false without side effects when no reduce slot is free.
+func (m *Machine) AcquireReduce(cpuShare float64) bool {
+	if m.runningReduce >= m.Spec.ReduceSlots {
+		return false
+	}
+	m.runningReduce++
+	m.addUtil(cpuShare)
+	return true
+}
+
+// ReleaseMap frees a map slot and removes the task's CPU share. Releasing
+// an unheld slot is a model bug and panics.
+func (m *Machine) ReleaseMap(cpuShare float64) {
+	if m.runningMap <= 0 {
+		panic(fmt.Sprintf("cluster: %s released map slot it does not hold", m))
+	}
+	m.runningMap--
+	m.addUtil(-cpuShare)
+}
+
+// ReleaseReduce frees a reduce slot and removes the task's CPU share.
+func (m *Machine) ReleaseReduce(cpuShare float64) {
+	if m.runningReduce <= 0 {
+		panic(fmt.Sprintf("cluster: %s released reduce slot it does not hold", m))
+	}
+	m.runningReduce--
+	m.addUtil(-cpuShare)
+}
+
+func (m *Machine) addUtil(d float64) {
+	m.util += d
+	// Clamp tiny float drift so long runs can't accumulate a negative
+	// utilization and produce negative power.
+	if m.util < 1e-12 {
+		m.util = 0
+	}
+	if m.util > 1 {
+		m.util = 1
+	}
+}
+
+// Cluster is an ordered fleet of machines with a type index.
+type Cluster struct {
+	machines []*Machine
+	byType   map[string][]*Machine
+}
+
+// New builds a cluster from counts of each spec, assigning stable IDs in
+// the order given. It returns an error if any spec is invalid.
+func New(groups ...Group) (*Cluster, error) {
+	c := &Cluster{byType: make(map[string][]*Machine)}
+	id := 0
+	for _, g := range groups {
+		if err := g.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		if g.Count <= 0 {
+			return nil, fmt.Errorf("cluster: group %q has count %d", g.Spec.Name, g.Count)
+		}
+		for i := 0; i < g.Count; i++ {
+			m := NewMachine(id, g.Spec)
+			id++
+			c.machines = append(c.machines, m)
+			c.byType[g.Spec.Name] = append(c.byType[g.Spec.Name], m)
+		}
+	}
+	if len(c.machines) == 0 {
+		return nil, fmt.Errorf("cluster: no machines")
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(groups ...Group) *Cluster {
+	c, err := New(groups...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Group pairs a machine spec with a replica count.
+type Group struct {
+	Spec  *TypeSpec
+	Count int
+}
+
+// Machines returns the fleet in ID order. The slice is shared; callers must
+// not mutate it.
+func (c *Cluster) Machines() []*Machine { return c.machines }
+
+// Size returns the number of machines.
+func (c *Cluster) Size() int { return len(c.machines) }
+
+// Machine returns the machine with the given ID.
+func (c *Cluster) Machine(id int) *Machine {
+	if id < 0 || id >= len(c.machines) {
+		panic(fmt.Sprintf("cluster: no machine %d in fleet of %d", id, len(c.machines)))
+	}
+	return c.machines[id]
+}
+
+// ByType returns the machines of one hardware type (the paper's
+// "homogeneous sub-cluster" used by the machine-level exchange strategy).
+func (c *Cluster) ByType(name string) []*Machine { return c.byType[name] }
+
+// TypeNames returns the distinct machine type names, sorted.
+func (c *Cluster) TypeNames() []string {
+	names := make([]string, 0, len(c.byType))
+	for n := range c.byType {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalSlots returns Σ m_slot over the fleet (S_pool in Eq. 7 for a
+// single-user system).
+func (c *Cluster) TotalSlots() int {
+	total := 0
+	for _, m := range c.machines {
+		total += m.Spec.Slots()
+	}
+	return total
+}
+
+// TotalMapSlots returns the fleet-wide map slot count.
+func (c *Cluster) TotalMapSlots() int {
+	total := 0
+	for _, m := range c.machines {
+		total += m.Spec.MapSlots
+	}
+	return total
+}
+
+// TotalReduceSlots returns the fleet-wide reduce slot count.
+func (c *Cluster) TotalReduceSlots() int {
+	total := 0
+	for _, m := range c.machines {
+		total += m.Spec.ReduceSlots
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/core"
+	"eant/internal/mapreduce"
+	"eant/internal/sim"
+	"eant/internal/workload"
+)
+
+// runVariant executes one MSD campaign with mutated E-Ant params.
+func runVariant(t *testing.T, mutate func(*core.Params)) *mapreduce.Stats {
+	t.Helper()
+	params := core.DefaultParams()
+	mutate(&params)
+	jobs, err := workload.GenerateMSD(
+		workload.MSDConfig{Jobs: 20, Scale: 64, MeanInterarrival: 30 * time.Second},
+		sim.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runSched(t, cluster.Testbed(), core.MustNewEAnt(params), jobs, 21)
+}
+
+// Every documented parameter variant must run a full campaign without
+// wedging the scheduler — the ablation benches assume this.
+func TestEAntParameterVariantsComplete(t *testing.T) {
+	variants := map[string]func(*core.Params){
+		"default":          func(*core.Params) {},
+		"sum-deposits":     func(p *core.Params) { p.SumDeposits = true; p.Gamma = 1 },
+		"greedy":           func(p *core.Params) { p.Greedy = true },
+		"no-neg-feedback":  func(p *core.Params) { p.NegativeFeedback = false },
+		"neg-scale-1":      func(p *core.Params) { p.NegativeScale = 1 },
+		"no-exchange":      func(p *core.Params) { p.MachineExchange = false; p.JobExchange = false },
+		"work-conserving":  func(p *core.Params) { p.AcceptFloor = 1 },
+		"rho-low":          func(p *core.Params) { p.Rho = 0.1 },
+		"rho-high":         func(p *core.Params) { p.Rho = 0.9 },
+		"gamma-1":          func(p *core.Params) { p.Gamma = 1 },
+		"gamma-12":         func(p *core.Params) { p.Gamma = 12 },
+		"beta-high":        func(p *core.Params) { p.Beta = 0.4 },
+		"single-draw":      func(p *core.Params) { p.ColonyDraws = 1 },
+		"many-draws":       func(p *core.Params) { p.ColonyDraws = 10 },
+		"tight-tau-bounds": func(p *core.Params) { p.MinTau = 0.5; p.MaxTau = 2 },
+	}
+	for name, mutate := range variants {
+		mutate := mutate
+		t.Run(name, func(t *testing.T) {
+			stats := runVariant(t, mutate)
+			if len(stats.Jobs) != 20 {
+				t.Fatalf("finished %d/20 jobs", len(stats.Jobs))
+			}
+			if stats.TotalJoules <= 0 {
+				t.Fatal("no energy accounted")
+			}
+		})
+	}
+}
+
+// The acceptance gate must never deadlock the cluster: even with a
+// pathological floor and no better-host capacity the backlog drains.
+func TestEAntNeverDeadlocks(t *testing.T) {
+	params := core.DefaultParams()
+	params.AcceptFloor = 0.0001
+	params.MinTau = 0.001
+	params.MaxTau = 1000
+	jobs := workload.Batch(workload.Wordcount, 10, 1280, 2, 0)
+	stats := runSched(t, cluster.Testbed(), core.MustNewEAnt(params), jobs, 31)
+	if len(stats.Jobs) != 10 {
+		t.Fatalf("finished %d/10 jobs — scheduler wedged", len(stats.Jobs))
+	}
+}
+
+// Job-level warm start must not leak trails across retired colonies: a
+// campaign of sequential same-app jobs stays consistent.
+func TestEAntSequentialSameAppJobs(t *testing.T) {
+	jobs := workload.Batch(workload.Grep, 8, 640, 1, 2*time.Minute)
+	stats := runSched(t, cluster.Testbed(), core.MustNewEAnt(core.DefaultParams()), jobs, 41)
+	if len(stats.Jobs) != 8 {
+		t.Fatalf("finished %d/8 jobs", len(stats.Jobs))
+	}
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/mapreduce"
+)
+
+// EAnt is the adaptive task assigner (§III–IV). It plugs into the
+// simulated JobTracker as a mapreduce.Scheduler.
+//
+// Assignment realizes Eq. 8 at heartbeat granularity in two steps when a
+// machine offers a free slot:
+//
+//  1. Colony selection — roulette over w(j) = τ(j,m)·η(j)^β among jobs
+//     with pending work. Jobs holding data-local blocks on m form a
+//     priority tier (η = ∞ in Eq. 7) when β > 0.
+//  2. Path acceptance — the chosen colony runs on m with probability
+//     τ(j,m)/max_m' τ(j,m'). Declining leaves the slot idle until the
+//     next heartbeat; this is how E-Ant steers work away from machines it
+//     has learned are energy-inefficient for the colony, rather than
+//     greedily filling every slot as Fair does.
+type EAnt struct {
+	p  Params
+	mx *Matrix
+
+	// typeGroups caches machine IDs per hardware type for the
+	// machine-level exchange; built on first use.
+	typeGroups [][]int
+
+	// trackTrails enables per-control-tick snapshots of every colony's
+	// trail row, for convergence studies (Fig. 11).
+	trackTrails bool
+	trails      map[ColonyKey][]TrailSnapshot
+}
+
+// TrailSnapshot is one colony's pheromone row at a control tick.
+type TrailSnapshot struct {
+	At  time.Duration
+	Row []float64
+}
+
+// TrackTrails enables trail-history recording; call before the run.
+func (e *EAnt) TrackTrails() {
+	e.trackTrails = true
+	e.trails = make(map[ColonyKey][]TrailSnapshot)
+}
+
+// TrailHistory returns the recorded snapshots for a colony (nil when
+// tracking was off or the colony never formed).
+func (e *EAnt) TrailHistory(k ColonyKey) []TrailSnapshot { return e.trails[k] }
+
+// NewEAnt returns an E-Ant scheduler with the given parameters.
+func NewEAnt(p Params) (*EAnt, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &EAnt{p: p}, nil
+}
+
+// MustNewEAnt is NewEAnt for known-valid parameters.
+func MustNewEAnt(p Params) *EAnt {
+	e, err := NewEAnt(p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+var _ mapreduce.Scheduler = (*EAnt)(nil)
+
+// Name implements mapreduce.Scheduler.
+func (e *EAnt) Name() string { return "E-Ant" }
+
+// Params returns the scheduler's configuration.
+func (e *EAnt) Params() Params { return e.p }
+
+// Matrix exposes the pheromone state for inspection (Table II dumps,
+// tests). Nil until the first assignment.
+func (e *EAnt) Matrix() *Matrix { return e.mx }
+
+func (e *EAnt) init(ctx *mapreduce.Context) {
+	if e.mx != nil {
+		return
+	}
+	mx, err := NewMatrix(ctx.Cluster.Size(), e.p)
+	if err != nil {
+		panic(err) // params were validated in NewEAnt
+	}
+	e.mx = mx
+	for _, name := range ctx.Cluster.TypeNames() {
+		var ids []int
+		for _, m := range ctx.Cluster.ByType(name) {
+			ids = append(ids, m.ID)
+		}
+		e.typeGroups = append(e.typeGroups, ids)
+	}
+}
+
+// key builds the colony key for a job's tasks of one kind.
+func key(j *mapreduce.Job, kind mapreduce.TaskKind) ColonyKey {
+	return ColonyKey{JobID: j.Spec.ID, App: j.Spec.App, Kind: kind}
+}
+
+// eta evaluates the fairness branch of the heuristic function (Eq. 7):
+//
+//	η(j) = 1 / (1 − (S_min − S_occ)/S_pool)
+//
+// η > 1 for starved jobs, < 1 for jobs above fair share.
+func (e *EAnt) eta(ctx *mapreduce.Context, j *mapreduce.Job) float64 {
+	spool := float64(ctx.TotalSlots())
+	if spool <= 0 {
+		return 1
+	}
+	denom := 1 - (ctx.FairShare(j)-float64(j.Running()))/spool
+	if denom <= 1/e.p.EtaMax {
+		return e.p.EtaMax
+	}
+	return clamp(1/denom, 1/e.p.EtaMax, e.p.EtaMax)
+}
+
+// weight evaluates the Eq. 8 numerator τ(j,m)·η(j,m)^β. Following Eq. 7,
+// η is the (capped) locality bonus when the job holds a local block on
+// the machine, and the fairness deficit otherwise; β controls how hard
+// heuristic information overrides the energy trails.
+func (e *EAnt) weight(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m *cluster.Machine) float64 {
+	w := e.mx.Tau(k, m.ID)
+	if e.p.Beta <= 0 {
+		return w
+	}
+	eta := e.eta(ctx, j)
+	if k.Kind == mapreduce.MapTask && ctx.HasLocalMap(j, m) {
+		eta = e.p.EtaMax
+	}
+	return w * math.Pow(eta, e.p.Beta)
+}
+
+// pickColony draws one job from candidates by roulette over Eq. 8 weights
+// (argmax under the Greedy ablation).
+func (e *EAnt) pickColony(ctx *mapreduce.Context, m *cluster.Machine, candidates []*mapreduce.Job, kind mapreduce.TaskKind) *mapreduce.Job {
+	if len(candidates) == 0 {
+		return nil
+	}
+	weights := make([]float64, len(candidates))
+	for i, j := range candidates {
+		weights[i] = e.weight(ctx, j, key(j, kind), m)
+	}
+	if e.p.Greedy {
+		best := 0
+		for i := 1; i < len(weights); i++ {
+			if weights[i] > weights[best] {
+				best = i
+			}
+		}
+		return candidates[best]
+	}
+	return candidates[ctx.Rng.Roulette(weights)]
+}
+
+// betterHostFactor is how much stronger another machine's trail must be
+// before declining in its favor is considered.
+const betterHostFactor = 1.2
+
+// accepts decides whether machine m takes a task of the colony. Trails are
+// mean-normalized per colony, so τ(j,m) directly reads as "goodness of m
+// relative to the colony's average machine": above-average machines always
+// accept; a below-average machine accepts with probability τ. A sampled
+// decline is honored only when deferring cannot cost throughput:
+//
+//  1. the fleet-wide pending work of this task kind must fit inside the
+//     better-trail machines' slot capacity (otherwise the work spills here
+//     regardless and declining merely drip-feeds the backlog through a
+//     few favored slots), and
+//  2. a better-trail machine must have a free slot right now, so the task
+//     is picked up within a heartbeat rather than parked.
+//
+// Deliberately idling a slot only saves energy when a better host actually
+// runs the task instead — every machine keeps burning idle power while a
+// task waits. These guards confine declining to light load and job tails,
+// which is exactly where the paper's adaptive steering pays off
+// (Fig. 1a); under saturation E-Ant stays work-conserving and colony
+// *selection* does the affinity matching (Figs. 8b, 9).
+func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m *cluster.Machine) bool {
+	// Aggregate pending work across ALL active jobs: better hosts are
+	// shared, so judging against one colony's backlog would let every
+	// colony assume the same free capacity and collectively over-decline.
+	pending := 0
+	for _, a := range ctx.ActiveJobs() {
+		if k.Kind == mapreduce.ReduceTask {
+			pending += a.PendingReduces()
+		} else {
+			pending += a.PendingMaps()
+		}
+	}
+
+	// Under server consolidation a sleeping machine costs a wake (resume
+	// latency plus a return to full idle draw); decline unless the awake
+	// fleet genuinely cannot absorb the pending work.
+	if m.Asleep() {
+		awakeSlots, awakeFree := e.awakeCapacity(ctx, k.Kind, m)
+		if pending <= awakeSlots && awakeFree > 0 {
+			return false
+		}
+	}
+	if k.Kind == mapreduce.ReduceTask {
+		// Reduce placement adapts through colony selection only (see
+		// selectColony); past the sleep guard it always accepts.
+		return true
+	}
+
+	tau := e.mx.Tau(k, m.ID)
+	if tau >= 1 {
+		return true
+	}
+	p := clamp(tau, e.p.AcceptFloor, 1)
+	if e.p.Greedy {
+		if p >= 0.5 {
+			return true
+		}
+	} else if ctx.Rng.Bernoulli(p) {
+		return true
+	}
+	slots, free := e.betterHostCapacity(ctx, k, m)
+	if pending > slots || free == 0 {
+		return true
+	}
+	return false
+}
+
+// awakeCapacity sums slot capacity and free slots of the right kind
+// across awake machines other than m.
+func (e *EAnt) awakeCapacity(ctx *mapreduce.Context, kind mapreduce.TaskKind, m *cluster.Machine) (slots, free int) {
+	for _, other := range ctx.Cluster.Machines() {
+		if other.ID == m.ID || other.Asleep() {
+			continue
+		}
+		if kind == mapreduce.ReduceTask {
+			slots += other.Spec.ReduceSlots
+			free += other.FreeReduceSlots()
+		} else {
+			slots += other.Spec.MapSlots
+			free += other.FreeMapSlots()
+		}
+	}
+	return slots, free
+}
+
+// betterHostCapacity sums slot capacity and currently-free slots of the
+// right kind across machines whose trail for the colony is meaningfully
+// stronger than m's.
+func (e *EAnt) betterHostCapacity(ctx *mapreduce.Context, k ColonyKey, m *cluster.Machine) (slots, free int) {
+	threshold := e.mx.Tau(k, m.ID) * betterHostFactor
+	for _, other := range ctx.Cluster.Machines() {
+		if other.ID == m.ID || e.mx.Tau(k, other.ID) < threshold {
+			continue
+		}
+		if k.Kind == mapreduce.ReduceTask {
+			slots += other.Spec.ReduceSlots
+			free += other.FreeReduceSlots()
+		} else {
+			slots += other.Spec.MapSlots
+			free += other.FreeMapSlots()
+		}
+	}
+	return slots, free
+}
+
+// selectColony realizes Eq. 8 for one slot offer: restrict candidates to
+// data-local colonies when the locality branch of Eq. 7 applies (η = ∞),
+// then repeatedly roulette-draw a colony and test path acceptance. Map
+// assignments pass the pheromone acceptance gate, which is what lets
+// E-Ant starve machines it has learned are energy-inefficient. Reduce
+// assignments adapt through colony selection only: a job has few, heavy
+// reduce tasks, and declining one serializes the job tail on the favored
+// machines — the energy cost of the stretched makespan always exceeds
+// the dynamic-energy saving of the better host.
+func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidates []*mapreduce.Job, kind mapreduce.TaskKind) *mapreduce.Job {
+	draws := e.p.ColonyDraws
+	if len(candidates) < draws {
+		draws = len(candidates)
+	}
+	for attempt := 0; attempt < draws; attempt++ {
+		j := e.pickColony(ctx, m, candidates, kind)
+		if j == nil {
+			return nil
+		}
+		if e.accepts(ctx, j, key(j, kind), m) {
+			return j
+		}
+		// Remove the declined colony and redraw: m may still be a good
+		// host for a different colony.
+		for i, c := range candidates {
+			if c == j {
+				candidates = append(candidates[:i], candidates[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// AssignMap implements mapreduce.Scheduler.
+func (e *EAnt) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+	e.init(ctx)
+
+	var pending []*mapreduce.Job
+	for _, j := range ctx.ActiveJobs() {
+		if j.PendingMaps() > 0 {
+			pending = append(pending, j)
+		}
+	}
+	j := e.selectColony(ctx, m, pending, mapreduce.MapTask)
+	if j == nil {
+		return nil
+	}
+	return ctx.PopMapPreferLocal(j, m)
+}
+
+// slowReduceFactor flags a machine as a pathological home for a job's
+// reduces when its compute time exceeds this multiple of the type mean.
+const slowReduceFactor = 2.0
+
+// AssignReduce implements mapreduce.Scheduler.
+func (e *EAnt) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+	e.init(ctx)
+	var ready []*mapreduce.Job
+	for _, j := range ctx.ActiveJobs() {
+		if ctx.ReduceReady(j) {
+			ready = append(ready, j)
+		}
+	}
+	j := e.selectColony(ctx, m, ready, mapreduce.ReduceTask)
+	if j == nil {
+		return nil
+	}
+	if e.reduceWouldStraggle(ctx, j, m) {
+		return nil
+	}
+	return ctx.PopReduce(j)
+}
+
+// reduceWouldStraggle reports whether parking one of j's reduces on m
+// would create a tail straggler: m runs the reduce far slower than the
+// fleet average and a faster machine has a free reduce slot right now.
+// Reduces are few and heavy, so one bad placement can serialize a job's
+// tail for longer than the whole map phase (the §I Atom anecdote: a third
+// of the energy, three times the wall clock — a loss once the rest of the
+// fleet sits burning idle power waiting for it).
+func (e *EAnt) reduceWouldStraggle(ctx *mapreduce.Context, j *mapreduce.Job, m *cluster.Machine) bool {
+	own := ctx.EstimateReduceSeconds(j, m.Spec)
+	if own <= 0 {
+		return false
+	}
+	var mean float64
+	names := ctx.Cluster.TypeNames()
+	for _, name := range names {
+		mean += ctx.EstimateReduceSeconds(j, ctx.Cluster.ByType(name)[0].Spec)
+	}
+	mean /= float64(len(names))
+	if own <= mean*slowReduceFactor {
+		return false
+	}
+	for _, other := range ctx.Cluster.Machines() {
+		if other.ID == m.ID || other.FreeReduceSlots() == 0 {
+			continue
+		}
+		if ctx.EstimateReduceSeconds(j, other.Spec) <= mean*slowReduceFactor {
+			return true
+		}
+	}
+	return false
+}
+
+// OnTaskComplete implements mapreduce.Scheduler: the TaskTracker's energy
+// report becomes pheromone feedback.
+func (e *EAnt) OnTaskComplete(ctx *mapreduce.Context, t *mapreduce.Task) {
+	e.init(ctx)
+	e.mx.Feedback(key(t.Job, t.Kind), t.Machine.ID, t.EstJoules)
+}
+
+// OnControlTick implements mapreduce.Scheduler: retire finished colonies
+// and fold the interval's feedback into the trails.
+func (e *EAnt) OnControlTick(ctx *mapreduce.Context) {
+	e.init(ctx)
+	active := make(map[int]bool, len(ctx.ActiveJobs()))
+	for _, j := range ctx.ActiveJobs() {
+		active[j.Spec.ID] = true
+	}
+	for k := range e.mx.tau {
+		if !active[k.JobID] {
+			e.mx.Retire(k.JobID)
+		}
+	}
+	e.mx.Update(e.typeGroups)
+	if e.trackTrails {
+		for k := range e.mx.tau {
+			e.trails[k] = append(e.trails[k], TrailSnapshot{
+				At:  ctx.Now(),
+				Row: e.mx.Row(k),
+			})
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"eant/internal/mapreduce"
+	"eant/internal/workload"
+)
+
+// ColonyKey identifies one ant colony: a job's tasks of one kind. Map and
+// reduce tasks of the same job form separate colonies because their energy
+// profiles differ (§III-A: machines ranked highly "will likely be assigned
+// with more of the same type of tasks"; Fig. 9b shows the resulting split).
+type ColonyKey struct {
+	JobID int
+	App   workload.App
+	Kind  mapreduce.TaskKind
+}
+
+// reward is one task's completion feedback gathered within the current
+// control interval.
+type reward struct {
+	machineID int
+	joules    float64
+}
+
+// Matrix holds pheromone trails per colony over the machine set and folds
+// in per-interval energy feedback according to Eqs. 4–6 and the §IV-D
+// exchange strategies.
+type Matrix struct {
+	p        Params
+	machines int
+	tau      map[ColonyKey][]float64
+	pending  map[ColonyKey][]reward
+}
+
+// NewMatrix returns an empty pheromone matrix over the given machine count.
+func NewMatrix(machines int, p Params) (*Matrix, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if machines <= 0 {
+		return nil, fmt.Errorf("core: matrix over %d machines", machines)
+	}
+	return &Matrix{
+		p:        p,
+		machines: machines,
+		tau:      make(map[ColonyKey][]float64),
+		pending:  make(map[ColonyKey][]reward),
+	}, nil
+}
+
+// Colonies returns the number of tracked colonies.
+func (mx *Matrix) Colonies() int { return len(mx.tau) }
+
+// row returns the colony's pheromone vector, creating it on first touch.
+// A new colony warm-starts from an existing same-(app, kind) colony when
+// job-level exchange is enabled — the sharing of experience that makes
+// small-job convergence fast (Fig. 11b).
+func (mx *Matrix) row(key ColonyKey) []float64 {
+	if row, ok := mx.tau[key]; ok {
+		return row
+	}
+	row := make([]float64, mx.machines)
+	donors := 0
+	if mx.p.JobExchange {
+		// Average every same-group colony's trails (not just one picked
+		// arbitrarily): deterministic, and exactly the pooled experience
+		// the job-level exchange maintains.
+		for k, r := range mx.tau {
+			if k.App == key.App && k.Kind == key.Kind {
+				for i, v := range r {
+					row[i] += v
+				}
+				donors++
+			}
+		}
+	}
+	for i := range row {
+		if donors > 0 {
+			row[i] /= float64(donors)
+		} else {
+			row[i] = mx.p.InitTau
+		}
+	}
+	mx.tau[key] = row
+	return row
+}
+
+// Tau returns τ(colony, machine).
+func (mx *Matrix) Tau(key ColonyKey, machineID int) float64 {
+	return mx.row(key)[machineID]
+}
+
+// Row returns a copy of the colony's pheromone vector.
+func (mx *Matrix) Row(key ColonyKey) []float64 {
+	out := make([]float64, mx.machines)
+	copy(out, mx.row(key))
+	return out
+}
+
+// MaxTau returns the colony's strongest trail.
+func (mx *Matrix) MaxTau(key ColonyKey) float64 {
+	maxV := 0.0
+	for _, v := range mx.row(key) {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV
+}
+
+// Feedback records one completed task's estimated energy, to be folded in
+// at the next Update.
+func (mx *Matrix) Feedback(key ColonyKey, machineID int, joules float64) {
+	if machineID < 0 || machineID >= mx.machines {
+		panic(fmt.Sprintf("core: feedback for machine %d of %d", machineID, mx.machines))
+	}
+	if joules <= 0 {
+		// Zero-energy tasks would produce infinite rewards; floor them.
+		joules = 1e-9
+	}
+	mx.row(key) // materialize the colony
+	mx.pending[key] = append(mx.pending[key], reward{machineID: machineID, joules: joules})
+}
+
+// PendingFeedback returns the number of unapplied task rewards.
+func (mx *Matrix) PendingFeedback() int {
+	n := 0
+	for _, rs := range mx.pending {
+		n += len(rs)
+	}
+	return n
+}
+
+// Retire drops colonies whose job has left the system.
+func (mx *Matrix) Retire(jobID int) {
+	for k := range mx.tau {
+		if k.JobID == jobID {
+			delete(mx.tau, k)
+			delete(mx.pending, k)
+		}
+	}
+}
+
+// Update folds the interval's feedback into the trails:
+//
+//  1. Raw rewards per path (Eq. 5): Δτ(j,m) = Σ_tasks avgE_j / E_task,
+//     where avgE_j is the mean energy of the colony's completed tasks.
+//  2. Machine-level exchange (§IV-D): Δτ averaged across each homogeneous
+//     machine group (typeGroups) that produced any feedback.
+//  3. Job-level exchange (§IV-D): Δτ averaged across colonies of the same
+//     (app, kind).
+//  4. Negative feedback (Eq. 6): competing colonies are penalized on the
+//     machines where this colony was rewarded.
+//  5. Evaporation and deposit (Eq. 4): τ ← (1−ρ)τ + ρΔ, clamped, then the
+//     row is rescaled to mean 1 (assignment probabilities are
+//     scale-invariant; rescaling keeps trails inside the clamp range).
+//
+// typeGroups lists machine IDs per homogeneous hardware group.
+func (mx *Matrix) Update(typeGroups [][]int) {
+	delta := make(map[ColonyKey][]float64, len(mx.pending))
+
+	// Stage 1: raw per-path rewards. With SumDeposits the deposit is the
+	// literal Eq. 4/5 sum Σ_n avgE/E_n, which also encodes completion
+	// counts; the default averages the per-task experiences and sharpens
+	// the ratio with Gamma, so trails read as pure relative energy
+	// efficiency.
+	counts := make(map[ColonyKey][]int, len(mx.pending))
+	for key, rs := range mx.pending {
+		if len(rs) == 0 {
+			continue
+		}
+		var sum float64
+		for _, r := range rs {
+			sum += r.joules
+		}
+		avg := sum / float64(len(rs))
+		d := make([]float64, mx.machines)
+		n := make([]int, mx.machines)
+		for _, r := range rs {
+			d[r.machineID] += avg / r.joules
+			n[r.machineID]++
+		}
+		delta[key] = d
+		counts[key] = n
+	}
+
+	// Stage 2: machine-level exchange — pool experiences across each
+	// homogeneous hardware group ("the average available experiences of
+	// the completed tasks that visited those homogeneous machines").
+	if mx.p.MachineExchange {
+		for key, d := range delta {
+			n := counts[key]
+			for _, group := range typeGroups {
+				var sum float64
+				tasks := 0
+				members := 0
+				for _, id := range group {
+					sum += d[id]
+					tasks += n[id]
+					if n[id] > 0 {
+						members++
+					}
+				}
+				if tasks == 0 {
+					continue
+				}
+				for _, id := range group {
+					if mx.p.SumDeposits {
+						// Average the per-machine sums over members
+						// that produced feedback.
+						d[id] = sum / float64(members)
+						n[id] = tasks / members
+					} else {
+						d[id] = sum
+						n[id] = tasks
+					}
+				}
+			}
+		}
+	}
+
+	// Reduce sums to mean-experience deposits unless running the literal
+	// Eq. 4/5 sum form, and apply the sharpening exponent.
+	if !mx.p.SumDeposits {
+		for key, d := range delta {
+			n := counts[key]
+			for i := range d {
+				if n[i] > 0 {
+					d[i] = math.Pow(d[i]/float64(n[i]), mx.p.Gamma)
+				}
+			}
+		}
+	}
+
+	// Stage 3: job-level exchange.
+	if mx.p.JobExchange && len(delta) > 1 {
+		type group struct {
+			app  workload.App
+			kind mapreduce.TaskKind
+		}
+		sums := make(map[group][]float64)
+		counts := make(map[group]int)
+		for key, d := range delta {
+			g := group{app: key.App, kind: key.Kind}
+			if sums[g] == nil {
+				sums[g] = make([]float64, mx.machines)
+			}
+			for i, v := range d {
+				sums[g][i] += v
+			}
+			counts[g]++
+		}
+		for key, d := range delta {
+			g := group{app: key.App, kind: key.Kind}
+			n := float64(counts[g])
+			for i := range d {
+				d[i] = sums[g][i] / n
+			}
+		}
+	}
+
+	// Stage 4+5: per-colony evaporation, deposit, negative feedback.
+	for key, row := range mx.tau {
+		d := delta[key]
+		for m := 0; m < mx.machines; m++ {
+			dep := 0.0
+			if d != nil {
+				dep = d[m]
+			}
+			if mx.p.NegativeFeedback && dep != 0 {
+				// Eq. 6: competitors' rewards on this machine push this
+				// colony away from it. Only colonies with *different*
+				// resource demands (different app) compete — same-app
+				// colonies are the "homogeneous jobs" the job-level
+				// exchange pools, not rivals. The penalty is the mean
+				// competitor reward scaled by NegativeScale, applied only
+				// where this colony had its own experience (dep != 0) so
+				// idle paths are not dragged below the floor.
+				var competitor float64
+				n := 0
+				for otherKey, od := range delta {
+					if otherKey.Kind != key.Kind || otherKey.App == key.App {
+						continue
+					}
+					competitor += od[m]
+					n++
+				}
+				if n > 0 {
+					dep -= mx.p.NegativeScale * competitor / float64(n)
+				}
+			}
+			v := (1-mx.p.Rho)*row[m] + mx.p.Rho*dep
+			row[m] = clamp(v, mx.p.MinTau, mx.p.MaxTau)
+		}
+		normalizeMean(row, mx.p.MinTau, mx.p.MaxTau)
+	}
+
+	mx.pending = make(map[ColonyKey][]reward)
+}
+
+// normalizeMean rescales row to mean 1, then re-clamps.
+func normalizeMean(row []float64, lo, hi float64) {
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	mean := sum / float64(len(row))
+	if mean <= 0 {
+		return
+	}
+	for i := range row {
+		row[i] = clamp(row[i]/mean, lo, hi)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

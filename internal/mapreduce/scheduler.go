@@ -1,0 +1,172 @@
+package mapreduce
+
+import (
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/hdfs"
+	"eant/internal/sim"
+	"eant/internal/workload"
+)
+
+// Scheduler is the task-assignment policy plugged into the JobTracker.
+// AssignMap/AssignReduce are called once per free slot per heartbeat; a
+// scheduler hands back a task popped from some job's pending queue, or nil
+// to leave the slot idle until the next heartbeat (how E-Ant starves
+// energy-inefficient machines). OnTaskComplete delivers the task-level
+// energy feedback each TaskTracker reports; OnControlTick fires every
+// control interval for policy refresh.
+type Scheduler interface {
+	// Name identifies the policy in reports ("Fair", "Tarazu", "E-Ant"...).
+	Name() string
+	// AssignMap selects a pending map task to run on m, or nil.
+	AssignMap(ctx *Context, m *cluster.Machine) *Task
+	// AssignReduce selects a ready reduce task to run on m, or nil.
+	AssignReduce(ctx *Context, m *cluster.Machine) *Task
+	// OnTaskComplete observes a finished task with its energy estimate.
+	OnTaskComplete(ctx *Context, t *Task)
+	// OnControlTick fires at every control-interval boundary.
+	OnControlTick(ctx *Context)
+}
+
+// Context is the JobTracker state a scheduler may consult.
+type Context struct {
+	Cluster *cluster.Cluster
+	HDFS    *hdfs.Namespace
+	// Rng is the scheduler's dedicated random stream.
+	Rng *sim.RNG
+
+	driver *Driver
+}
+
+// Now returns the current virtual time.
+func (c *Context) Now() time.Duration { return c.driver.engine.Now() }
+
+// ActiveJobs returns submitted, unfinished jobs in submission order. The
+// slice is shared; callers must not mutate it.
+func (c *Context) ActiveJobs() []*Job { return c.driver.active }
+
+// ControlInterval returns the configured policy-refresh period.
+func (c *Context) ControlInterval() time.Duration { return c.driver.cfg.ControlInterval }
+
+// ReduceReady reports whether j's reduces may be scheduled yet: the job's
+// map progress has passed the slowstart threshold and reduces remain.
+func (c *Context) ReduceReady(j *Job) bool {
+	if j.PendingReduces() == 0 {
+		return false
+	}
+	return j.MapProgress() >= c.driver.cfg.Slowstart
+}
+
+// TotalSlots returns S_pool, the fleet-wide slot count (Eq. 7).
+func (c *Context) TotalSlots() int { return c.driver.totalSlots }
+
+// QueuePressure reports how backlogged the cluster is for the given task
+// kind: 0 when queues are empty, 1 when pending work is at least twice the
+// fleet's slot capacity for that kind. Schedulers that deliberately idle
+// slots (E-Ant) use it to stay work-conserving under heavy load.
+func (c *Context) QueuePressure(kind TaskKind) float64 {
+	pending := 0
+	slots := 0
+	if kind == MapTask {
+		for _, j := range c.driver.active {
+			pending += j.PendingMaps()
+		}
+		slots = c.driver.totalMapSlots
+	} else {
+		for _, j := range c.driver.active {
+			if c.ReduceReady(j) {
+				pending += j.PendingReduces()
+			}
+		}
+		slots = c.driver.totalReduceSlots
+	}
+	if slots == 0 {
+		return 1
+	}
+	p := float64(pending) / float64(2*slots)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// FairShare returns S_min for job j: an equal split of the slot pool among
+// active jobs, as the Hadoop Fair Scheduler's single-pool default.
+func (c *Context) FairShare(j *Job) float64 {
+	n := len(c.driver.active)
+	if n == 0 {
+		return 0
+	}
+	return float64(c.driver.totalSlots) / float64(n)
+}
+
+// HasLocalMap reports whether job j still has a pending map task whose
+// input block has a replica on machine m.
+func (c *Context) HasLocalMap(j *Job, m *cluster.Machine) bool {
+	return j.peekPendingLocalMap(m.ID)
+}
+
+// PopMapPreferLocal removes and returns a pending map of j, choosing a
+// block-local task for m when one exists.
+func (c *Context) PopMapPreferLocal(j *Job, m *cluster.Machine) *Task {
+	if t := j.popLocalMap(m.ID); t != nil {
+		return t
+	}
+	return j.popAnyMap()
+}
+
+// PopMapAny removes and returns the oldest pending map of j, ignoring
+// locality.
+func (c *Context) PopMapAny(j *Job) *Task { return j.popAnyMap() }
+
+// PopReduce removes and returns the next pending reduce of j.
+func (c *Context) PopReduce(j *Job) *Task { return j.popReduce() }
+
+// Requeue returns an unstarted task popped this heartbeat back to its job
+// (the scheduler declined the assignment after inspecting it).
+func (c *Context) Requeue(t *Task) { t.Job.requeue(t) }
+
+// CloneForSpeculation creates a speculative copy of a straggling running
+// attempt, to be returned from AssignMap/AssignReduce like a pending
+// task. The first of the pair to finish wins; the driver kills the
+// other. It returns nil when the attempt cannot be speculated: not
+// running, already part of a race, or a reduce whose job's map barrier
+// has not passed (its shuffle data is not fully available to re-pull).
+func (c *Context) CloneForSpeculation(orig *Task) *Task {
+	if orig == nil || orig.State != TaskRunning || orig.clone != nil || orig.original != nil {
+		return nil
+	}
+	if orig.Kind == ReduceTask && !orig.Job.MapsDone() {
+		return nil
+	}
+	clone := &Task{
+		Job:      orig.Job,
+		Index:    orig.Index,
+		Kind:     orig.Kind,
+		InputMB:  orig.InputMB,
+		State:    TaskPending,
+		original: orig,
+	}
+	orig.clone = clone
+	c.driver.stats.SpeculativeStarted++
+	return clone
+}
+
+// EstimateMapSeconds predicts the noise-free service time of one of j's
+// map tasks on machine spec, assuming data-local execution. Schedulers
+// like Tarazu use it as the task-duration profile a real implementation
+// would learn from completed waves.
+func (c *Context) EstimateMapSeconds(j *Job, spec *cluster.TypeSpec) float64 {
+	prof := workload.ProfileOf(j.Spec.App)
+	_, total := mapService(prof, workload.BlockMB, spec, true, c.driver.cfg.NetShareDivisor)
+	return total
+}
+
+// EstimateReduceSeconds predicts the noise-free compute time of one of j's
+// reduce tasks on machine spec (shuffle excluded).
+func (c *Context) EstimateReduceSeconds(j *Job, spec *cluster.TypeSpec) float64 {
+	prof := workload.ProfileOf(j.Spec.App)
+	_, _, compute := reduceService(prof, j.Spec.ShuffleMBPerReduce(), spec, c.driver.cfg.NetShareDivisor)
+	return compute
+}

@@ -1,0 +1,214 @@
+package mapreduce
+
+import (
+	"time"
+
+	"eant/internal/workload"
+)
+
+// TaskRecord is the completion record of one task, the simulator's
+// equivalent of a Hadoop TaskReport tagged with energy data.
+type TaskRecord struct {
+	JobID       int
+	App         workload.App
+	Class       workload.SizeClass
+	Kind        TaskKind
+	MachineID   int
+	MachineType string
+	Start       time.Duration
+	Finish      time.Duration
+	EstJoules   float64
+	TrueJoules  float64
+	Local       bool
+}
+
+// JobResult captures one finished job's phase timeline.
+type JobResult struct {
+	Spec           workload.JobSpec
+	Submitted      time.Duration
+	FirstStart     time.Duration
+	MapsDoneAt     time.Duration
+	LastShuffleEnd time.Duration
+	Finished       time.Duration
+}
+
+// CompletionTime returns submission-to-finish latency.
+func (r JobResult) CompletionTime() time.Duration { return r.Finished - r.Submitted }
+
+// MapSeconds returns the map-phase span of the job.
+func (r JobResult) MapSeconds() float64 { return (r.MapsDoneAt - r.FirstStart).Seconds() }
+
+// ShuffleSeconds returns the post-barrier shuffle span.
+func (r JobResult) ShuffleSeconds() float64 {
+	if r.LastShuffleEnd < r.MapsDoneAt {
+		return 0
+	}
+	return (r.LastShuffleEnd - r.MapsDoneAt).Seconds()
+}
+
+// ReduceSeconds returns the reduce-compute span.
+func (r JobResult) ReduceSeconds() float64 {
+	end := r.LastShuffleEnd
+	if end < r.MapsDoneAt {
+		end = r.MapsDoneAt
+	}
+	if r.Finished < end {
+		return 0
+	}
+	return (r.Finished - end).Seconds()
+}
+
+// EnergyPoint is a cluster-energy snapshot taken at a control tick,
+// feeding the Fig. 10 savings-over-time series.
+type EnergyPoint struct {
+	At          time.Duration
+	TotalJoules float64
+	TasksDone   int
+}
+
+// IntervalAssignments snapshots, for one control interval, how many tasks
+// of each job started on each machine: map[jobID]map[machineID]count.
+// The Fig. 11 convergence detector consumes consecutive snapshots.
+type IntervalAssignments struct {
+	At     time.Duration
+	Counts map[int]map[int]int
+}
+
+// AppKindKey groups completed-task tallies per machine type.
+type AppKindKey struct {
+	MachineType string
+	App         workload.App
+	Kind        TaskKind
+}
+
+// EnergyPair accumulates estimated vs true task energy for accuracy
+// reporting (Fig. 4).
+type EnergyPair struct {
+	EstJoules  float64
+	TrueJoules float64
+	Tasks      int
+}
+
+// Stats aggregates everything the evaluation section reads out of a run.
+// Aggregates are always maintained; full per-task records only when
+// Config.KeepTaskRecords is set (they dominate memory on large workloads).
+type Stats struct {
+	Scheduler string
+	Horizon   time.Duration
+
+	Jobs  []JobResult
+	Tasks []TaskRecord
+
+	// Completed tallies completed tasks grouped by (machine type, app,
+	// kind) — Figs. 9a/9b.
+	Completed map[AppKindKey]int
+	// CompletedByMachine counts completed tasks per machine ID.
+	CompletedByMachine map[int]int
+	// Energy accumulates est/true task energy per (machine type, app,
+	// kind) — Fig. 4.
+	Energy map[AppKindKey]EnergyPair
+
+	// LocalMaps / TotalMaps track the data-locality hit rate.
+	LocalMaps int
+	TotalMaps int
+
+	// Speculation bookkeeping: clones launched, races won by the clone,
+	// and attempts killed as race losers (original or clone).
+	SpeculativeStarted int
+	SpeculativeWon     int
+	SpeculativeKilled  int
+
+	// Consolidation bookkeeping: power-down and wake transitions.
+	Sleeps int
+	Wakes  int
+
+	// Timeline holds per-control-tick energy snapshots (Fig. 10).
+	Timeline []EnergyPoint
+	// Assignments holds per-interval assignment distributions (Fig. 11),
+	// recorded only when Config.KeepAssignmentHistory is set.
+	Assignments []IntervalAssignments
+
+	// MachineJoules and MachineAvgUtil are filled from the power meter at
+	// the end of the run.
+	MachineJoules  []float64
+	MachineAvgUtil []float64
+	// TypeJoules and TypeAvgUtil group the same by machine type
+	// (Figs. 8a/8b).
+	TypeJoules  map[string]float64
+	TypeAvgUtil map[string]float64
+	// TotalJoules is fleet-wide energy over [0, Horizon].
+	TotalJoules float64
+}
+
+func newStats(schedName string) *Stats {
+	return &Stats{
+		Scheduler:          schedName,
+		Completed:          make(map[AppKindKey]int),
+		CompletedByMachine: make(map[int]int),
+		Energy:             make(map[AppKindKey]EnergyPair),
+	}
+}
+
+// TasksDone returns the total number of completed tasks.
+func (s *Stats) TasksDone() int {
+	n := 0
+	for _, c := range s.CompletedByMachine {
+		n += c
+	}
+	return n
+}
+
+// CompletedByTypeApp returns completed-task counts per machine type for
+// one app (both kinds), Fig. 9a's view.
+func (s *Stats) CompletedByTypeApp(machineType string, app workload.App) int {
+	n := 0
+	for k, c := range s.Completed {
+		if k.MachineType == machineType && k.App == app {
+			n += c
+		}
+	}
+	return n
+}
+
+// CompletedByTypeKind returns completed-task counts per machine type for
+// one kind (all apps), Fig. 9b's view.
+func (s *Stats) CompletedByTypeKind(machineType string, kind TaskKind) int {
+	n := 0
+	for k, c := range s.Completed {
+		if k.MachineType == machineType && k.Kind == kind {
+			n += c
+		}
+	}
+	return n
+}
+
+// EnergyByApp sums est/true energy over machine types for one app.
+func (s *Stats) EnergyByApp(app workload.App) EnergyPair {
+	var out EnergyPair
+	for k, p := range s.Energy {
+		if k.App == app {
+			out.EstJoules += p.EstJoules
+			out.TrueJoules += p.TrueJoules
+			out.Tasks += p.Tasks
+		}
+	}
+	return out
+}
+
+// LocalityFraction returns the fraction of map tasks that read local data.
+func (s *Stats) LocalityFraction() float64 {
+	if s.TotalMaps == 0 {
+		return 0
+	}
+	return float64(s.LocalMaps) / float64(s.TotalMaps)
+}
+
+// JobByID returns the result for the given job ID, or nil.
+func (s *Stats) JobByID(id int) *JobResult {
+	for i := range s.Jobs {
+		if s.Jobs[i].Spec.ID == id {
+			return &s.Jobs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,332 @@
+// Package mapreduce simulates the Hadoop 1.x execution substrate the paper
+// modifies: jobs split into map and reduce tasks, TaskTracker slots,
+// 3-second heartbeats, multi-wave task execution, the shuffle barrier, and
+// task-level CPU/energy reporting. The Driver plays the JobTracker: it owns
+// the virtual clock, submits jobs, serves heartbeats through a pluggable
+// Scheduler, and accounts energy through the power meter.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/sim"
+	"eant/internal/workload"
+)
+
+// simEventHandle aliases the engine's cancellable-event handle.
+type simEventHandle = sim.EventHandle
+
+// TaskKind distinguishes map from reduce tasks.
+type TaskKind int
+
+// Task kinds.
+const (
+	MapTask TaskKind = iota + 1
+	ReduceTask
+)
+
+// String returns "map" or "reduce".
+func (k TaskKind) String() string {
+	switch k {
+	case MapTask:
+		return "map"
+	case ReduceTask:
+		return "reduce"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(k))
+	}
+}
+
+// TaskState is the lifecycle of a task.
+type TaskState int
+
+// Task states. Reduce tasks pass through Shuffling before Running when they
+// are assigned ahead of the job's map barrier. TaskKilled marks the losing
+// attempt of a speculative pair.
+const (
+	TaskPending TaskState = iota + 1
+	TaskShuffling
+	TaskRunning
+	TaskDone
+	TaskKilled
+)
+
+// Task is one map or reduce attempt. Speculative execution (the LATE
+// scheduler) clones a straggling attempt; the original and the clone are
+// linked, the first to finish wins, and the driver kills the other.
+type Task struct {
+	Job   *Job
+	Index int
+	Kind  TaskKind
+
+	// InputMB is split input for maps, shuffle volume for reduces.
+	InputMB float64
+
+	State   TaskState
+	Machine *cluster.Machine
+	Local   bool // map read its block from local disk
+
+	Start  time.Duration
+	Finish time.Duration
+	// computeStart is when the compute phase began: Start for maps, the
+	// shuffle→compute transition for reduces. Straggler detection
+	// measures from here so barrier waits don't look like slowness.
+	computeStart time.Duration
+
+	// shuffleSecs/computeSecs decompose a reduce's service time; maps use
+	// computeSecs only. Set at assignment.
+	shuffleSecs float64
+	computeSecs float64
+
+	// trueUtil is the whole-machine CPU share the task occupies while in
+	// its compute phase; shuffleUtil during the shuffle phase.
+	trueUtil    float64
+	shuffleUtil float64
+
+	// EstJoules is the Eq. 2 energy estimate reported on completion.
+	// TrueJoules is the noise-free marginal energy (idle share + dynamic),
+	// kept for accuracy experiments.
+	EstJoules  float64
+	TrueJoules float64
+
+	// original links a speculative clone back to the straggling attempt
+	// it races; clone links the original forward. pendingEvent is the
+	// task's next scheduled event (phase change or completion), cancelled
+	// when the task loses the race.
+	original     *Task
+	clone        *Task
+	pendingEvent simEventHandle
+}
+
+// ComputeStart returns when the attempt's compute phase began.
+func (t *Task) ComputeStart() time.Duration { return t.computeStart }
+
+// Speculative reports whether the task is a speculative clone.
+func (t *Task) Speculative() bool { return t.original != nil }
+
+// HasClone reports whether a speculative copy of this task is in flight.
+func (t *Task) HasClone() bool { return t.clone != nil }
+
+// ID returns a stable task identifier: "job3/map/17".
+func (t *Task) ID() string {
+	return fmt.Sprintf("job%d/%s/%d", t.Job.Spec.ID, t.Kind, t.Index)
+}
+
+// Duration returns the task's total service time; valid once done.
+func (t *Task) Duration() time.Duration { return t.Finish - t.Start }
+
+// currentUtil returns the machine share the task contributes in the given
+// state.
+func (t *Task) currentUtil(st TaskState) float64 {
+	if st == TaskShuffling {
+		return t.shuffleUtil
+	}
+	return t.trueUtil
+}
+
+// Job is a submitted MapReduce job with its task lists and progress
+// counters.
+type Job struct {
+	Spec workload.JobSpec
+
+	Maps    []*Task
+	Reduces []*Task
+
+	Submitted time.Duration
+	// FirstStart is when the first task began executing.
+	FirstStart time.Duration
+	// MapsDoneAt is when the last map finished (the shuffle barrier).
+	MapsDoneAt time.Duration
+	// LastShuffleEnd is when the last reduce finished its shuffle phase.
+	LastShuffleEnd time.Duration
+	// Finished is when the last task completed.
+	Finished time.Duration
+
+	mapsDone    int
+	reducesDone int
+	started     bool
+	done        bool
+
+	// pendingMaps is a FIFO of map indices not yet assigned; head advances
+	// past assigned entries lazily.
+	pendingMaps []int
+	pendingHead int
+	// localPending indexes pending map tasks by machine holding a replica.
+	// Entries go stale when a task is assigned elsewhere; consumers skip
+	// non-pending tasks when popping.
+	localPending map[int][]int
+	// pendingReduces is a FIFO of reduce indices not yet assigned.
+	pendingReduces []int
+	reduceHead     int
+
+	// runningByMachine counts this job's running tasks per machine,
+	// maintained for slot-fairness heuristics.
+	runningByMachine map[int]int
+	running          int
+	// runningSet tracks in-flight attempts (originals and speculative
+	// clones) for the speculation scan.
+	runningSet map[*Task]struct{}
+}
+
+// newJob materializes tasks for a spec. Block replica locations are
+// supplied per map index via replicasOf (from the HDFS namespace).
+func newJob(spec workload.JobSpec, replicasOf func(block int) []int) *Job {
+	j := &Job{
+		Spec:             spec,
+		localPending:     make(map[int][]int),
+		runningByMachine: make(map[int]int),
+		runningSet:       make(map[*Task]struct{}),
+	}
+	j.Maps = make([]*Task, spec.NumMaps)
+	j.pendingMaps = make([]int, spec.NumMaps)
+	for i := 0; i < spec.NumMaps; i++ {
+		j.Maps[i] = &Task{
+			Job:     j,
+			Index:   i,
+			Kind:    MapTask,
+			InputMB: spec.MapInputMB(i),
+			State:   TaskPending,
+		}
+		j.pendingMaps[i] = i
+		for _, machineID := range replicasOf(i) {
+			j.localPending[machineID] = append(j.localPending[machineID], i)
+		}
+	}
+	j.Reduces = make([]*Task, spec.NumReduces)
+	j.pendingReduces = make([]int, spec.NumReduces)
+	for i := 0; i < spec.NumReduces; i++ {
+		j.Reduces[i] = &Task{
+			Job:     j,
+			Index:   i,
+			Kind:    ReduceTask,
+			InputMB: spec.ShuffleMBPerReduce(),
+			State:   TaskPending,
+		}
+		j.pendingReduces[i] = i
+	}
+	return j
+}
+
+// Done reports whether every task has completed.
+func (j *Job) Done() bool { return j.done }
+
+// MapsDone reports whether the map phase is complete (shuffle barrier
+// lifted).
+func (j *Job) MapsDone() bool { return j.mapsDone == len(j.Maps) }
+
+// MapProgress returns the completed-map fraction in [0, 1].
+func (j *Job) MapProgress() float64 {
+	if len(j.Maps) == 0 {
+		return 1
+	}
+	return float64(j.mapsDone) / float64(len(j.Maps))
+}
+
+// PendingMaps returns the number of unassigned map tasks.
+func (j *Job) PendingMaps() int { return len(j.pendingMaps) - j.pendingHead }
+
+// PendingReduces returns the number of unassigned reduce tasks.
+func (j *Job) PendingReduces() int { return len(j.pendingReduces) - j.reduceHead }
+
+// Running returns the number of currently executing tasks.
+func (j *Job) Running() int { return j.running }
+
+// RunningOn returns the number of this job's tasks executing on machine id.
+func (j *Job) RunningOn(machineID int) int { return j.runningByMachine[machineID] }
+
+// popLocalMap removes and returns a pending map task with a replica on
+// machineID, or nil.
+func (j *Job) popLocalMap(machineID int) *Task {
+	queue := j.localPending[machineID]
+	for len(queue) > 0 {
+		idx := queue[0]
+		queue = queue[1:]
+		if t := j.Maps[idx]; t.State == TaskPending {
+			j.localPending[machineID] = queue
+			return t
+		}
+	}
+	j.localPending[machineID] = nil
+	return nil
+}
+
+// popAnyMap removes and returns the oldest pending map task, or nil.
+func (j *Job) popAnyMap() *Task {
+	for j.pendingHead < len(j.pendingMaps) {
+		idx := j.pendingMaps[j.pendingHead]
+		j.pendingHead++
+		if t := j.Maps[idx]; t.State == TaskPending {
+			return t
+		}
+	}
+	return nil
+}
+
+// peekPendingLocalMap reports whether a pending map task has a replica on
+// machineID, without consuming it.
+func (j *Job) peekPendingLocalMap(machineID int) bool {
+	queue := j.localPending[machineID]
+	for _, idx := range queue {
+		if j.Maps[idx].State == TaskPending {
+			return true
+		}
+	}
+	return false
+}
+
+// popReduce removes and returns the next pending reduce task, or nil.
+func (j *Job) popReduce() *Task {
+	for j.reduceHead < len(j.pendingReduces) {
+		idx := j.pendingReduces[j.reduceHead]
+		j.reduceHead++
+		if t := j.Reduces[idx]; t.State == TaskPending {
+			return t
+		}
+	}
+	return nil
+}
+
+// RunningAttempts returns the job's in-flight attempts of one kind,
+// ordered by (task index, speculative flag) for deterministic iteration.
+func (j *Job) RunningAttempts(kind TaskKind) []*Task {
+	out := make([]*Task, 0, len(j.runningSet))
+	for t := range j.runningSet {
+		if t.Kind == kind {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Index != out[b].Index {
+			return out[a].Index < out[b].Index
+		}
+		return !out[a].Speculative() && out[b].Speculative()
+	})
+	return out
+}
+
+// requeue returns a popped task to its pending pool (a scheduler chose a
+// job but then declined the assignment).
+func (j *Job) requeue(t *Task) {
+	if t.State != TaskPending {
+		panic(fmt.Sprintf("mapreduce: requeue of %s in state %d", t.ID(), t.State))
+	}
+	if t.Kind == MapTask {
+		// Prepend by resetting head if possible, else append.
+		if j.pendingHead > 0 {
+			j.pendingHead--
+			j.pendingMaps[j.pendingHead] = t.Index
+		} else {
+			j.pendingMaps = append(j.pendingMaps, t.Index)
+		}
+	} else {
+		if j.reduceHead > 0 {
+			j.reduceHead--
+			j.pendingReduces[j.reduceHead] = t.Index
+		} else {
+			j.pendingReduces = append(j.pendingReduces, t.Index)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eant/internal/cluster"
+)
+
+func TestMeterIdleIntegration(t *testing.T) {
+	c := cluster.MustNew(cluster.Group{Spec: cluster.SpecDesktop, Count: 1})
+	mt := NewMeter(c)
+	mt.SyncAll(100 * time.Second)
+	want := cluster.SpecDesktop.IdleWatts * 100
+	if got := mt.TotalJoules(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("idle energy = %v J, want %v J", got, want)
+	}
+}
+
+func TestMeterPiecewiseIntegration(t *testing.T) {
+	c := cluster.MustNew(cluster.Group{Spec: cluster.SpecDesktop, Count: 1})
+	m := c.Machine(0)
+	mt := NewMeter(c)
+
+	// 10 s idle, then 20 s at util 0.25, then 5 s idle again.
+	mt.Sync(m, 10*time.Second)
+	m.AcquireMap(0.25)
+	mt.Sync(m, 30*time.Second)
+	m.ReleaseMap(0.25)
+	mt.Sync(m, 35*time.Second)
+
+	spec := cluster.SpecDesktop
+	want := spec.IdleWatts*10 + spec.PowerAt(0.25)*20 + spec.IdleWatts*5
+	if got := mt.MachineJoules(0); math.Abs(got-want) > 1e-6 {
+		t.Errorf("energy = %v J, want %v J", got, want)
+	}
+}
+
+func TestMeterSyncBackwardsPanics(t *testing.T) {
+	c := cluster.MustNew(cluster.Group{Spec: cluster.SpecAtom, Count: 1})
+	mt := NewMeter(c)
+	mt.Sync(c.Machine(0), 10*time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards sync did not panic")
+		}
+	}()
+	mt.Sync(c.Machine(0), 5*time.Second)
+}
+
+func TestMeterTypeJoules(t *testing.T) {
+	c := cluster.MustNew(
+		cluster.Group{Spec: cluster.SpecDesktop, Count: 2},
+		cluster.Group{Spec: cluster.SpecAtom, Count: 1},
+	)
+	mt := NewMeter(c)
+	mt.SyncAll(10 * time.Second)
+	byType := mt.TypeJoules()
+	wantDesk := 2 * cluster.SpecDesktop.IdleWatts * 10
+	wantAtom := cluster.SpecAtom.IdleWatts * 10
+	if math.Abs(byType["Desktop"]-wantDesk) > 1e-6 {
+		t.Errorf("Desktop energy = %v, want %v", byType["Desktop"], wantDesk)
+	}
+	if math.Abs(byType["Atom"]-wantAtom) > 1e-6 {
+		t.Errorf("Atom energy = %v, want %v", byType["Atom"], wantAtom)
+	}
+	if math.Abs(mt.TotalJoules()-(wantDesk+wantAtom)) > 1e-6 {
+		t.Error("TotalJoules does not equal sum of type energies")
+	}
+}
+
+func TestEstimateTaskJoulesMatchesEq2(t *testing.T) {
+	spec := cluster.SpecXeonE5
+	samples := []TaskSample{
+		{Util: 0.04, Dt: 3 * time.Second},
+		{Util: 0.02, Dt: 3 * time.Second},
+	}
+	idleShare := spec.IdleWatts / float64(spec.Slots())
+	want := (idleShare+spec.AlphaWatts*0.04)*3 + (idleShare+spec.AlphaWatts*0.02)*3
+	if got := EstimateTaskJoules(spec, samples); math.Abs(got-want) > 1e-9 {
+		t.Errorf("estimate = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateTaskJoulesNegativeUtilClamped(t *testing.T) {
+	spec := cluster.SpecDesktop
+	got := EstimateTaskJoules(spec, []TaskSample{{Util: -1, Dt: time.Second}})
+	want := spec.IdleWatts / float64(spec.Slots())
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("estimate with negative util = %v, want idle share %v", got, want)
+	}
+}
+
+func TestEstimateUniformEquivalence(t *testing.T) {
+	spec := cluster.SpecT420
+	a := EstimateTaskJoulesUniform(spec, 0.1, 30*time.Second)
+	b := EstimateTaskJoules(spec, []TaskSample{
+		{Util: 0.1, Dt: 10 * time.Second},
+		{Util: 0.1, Dt: 20 * time.Second},
+	})
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("uniform %v != sampled %v", a, b)
+	}
+}
+
+func TestEstimateNonNegativeProperty(t *testing.T) {
+	spec := cluster.SpecT110
+	f := func(utils []float64, secs []uint8) bool {
+		n := len(utils)
+		if len(secs) < n {
+			n = len(secs)
+		}
+		samples := make([]TaskSample, 0, n)
+		for i := 0; i < n; i++ {
+			u := utils[i]
+			if !math.IsNaN(u) && !math.IsInf(u, 0) {
+				u = math.Mod(u, 2) // keep within the model's domain, sign preserved
+			} else {
+				u = 0
+			}
+			samples = append(samples, TaskSample{
+				Util: u,
+				Dt:   time.Duration(secs[i]) * time.Second,
+			})
+		}
+		return EstimateTaskJoules(spec, samples) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateAdditivityProperty(t *testing.T) {
+	// Energy of a concatenated sample list equals the sum of the parts.
+	spec := cluster.SpecT620
+	f := func(a, b []float64) bool {
+		mk := func(us []float64) []TaskSample {
+			out := make([]TaskSample, len(us))
+			for i, u := range us {
+				out[i] = TaskSample{Util: math.Abs(math.Mod(u, 1)), Dt: time.Second}
+			}
+			return out
+		}
+		sa, sb := mk(a), mk(b)
+		whole := EstimateTaskJoules(spec, append(append([]TaskSample{}, sa...), sb...))
+		parts := EstimateTaskJoules(spec, sa) + EstimateTaskJoules(spec, sb)
+		return math.Abs(whole-parts) < 1e-6*(1+whole)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitLinearRecoversModel(t *testing.T) {
+	// Synthesize observations from a known envelope and recover it.
+	spec := cluster.SpecXeonE5
+	var utils, watts []float64
+	for u := 0.0; u <= 1.0; u += 0.1 {
+		utils = append(utils, u)
+		watts = append(watts, spec.PowerAt(u))
+	}
+	idle, alpha, err := FitLinear(utils, watts)
+	if err != nil {
+		t.Fatalf("FitLinear: %v", err)
+	}
+	if math.Abs(idle-spec.IdleWatts) > 1e-6 {
+		t.Errorf("idle = %v, want %v", idle, spec.IdleWatts)
+	}
+	if math.Abs(alpha-spec.AlphaWatts) > 1e-6 {
+		t.Errorf("alpha = %v, want %v", alpha, spec.AlphaWatts)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, _, err := FitLinear([]float64{1}, []float64{2, 3}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := FitLinear([]float64{1}, []float64{2}); err == nil {
+		t.Error("single observation accepted")
+	}
+	if _, _, err := FitLinear([]float64{0.5, 0.5}, []float64{10, 20}); err == nil {
+		t.Error("zero-variance utilizations accepted")
+	}
+}

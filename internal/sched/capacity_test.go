@@ -1,0 +1,121 @@
+package sched_test
+
+import (
+	"testing"
+	"time"
+
+	"eant/internal/cluster"
+	"eant/internal/mapreduce"
+	"eant/internal/sched"
+	"eant/internal/workload"
+)
+
+func TestCapacityValidation(t *testing.T) {
+	if _, err := sched.NewCapacity([]sched.CapacityQueue{{Name: "a", Share: 0}}, nil); err == nil {
+		t.Error("zero share accepted")
+	}
+	if _, err := sched.NewCapacity([]sched.CapacityQueue{
+		{Name: "a", Share: 0.7}, {Name: "b", Share: 0.7},
+	}, nil); err == nil {
+		t.Error("overcommitted shares accepted")
+	}
+	c, err := sched.NewCapacity(nil, nil)
+	if err != nil {
+		t.Fatalf("default queue: %v", err)
+	}
+	if c.Name() != "Capacity" {
+		t.Error("name mismatch")
+	}
+}
+
+func TestCapacityCompletesMultiQueueWorkload(t *testing.T) {
+	queues := []sched.CapacityQueue{
+		{Name: "prod", Share: 0.7},
+		{Name: "adhoc", Share: 0.3},
+	}
+	s := sched.MustNewCapacity(queues, nil) // route by job ID parity
+	cfg := mapreduce.DefaultConfig()
+	jobs := []workload.JobSpec{
+		workload.NewJobSpec(0, workload.Wordcount, 1280, 2, 0),
+		workload.NewJobSpec(1, workload.Grep, 1280, 2, 0),
+		workload.NewJobSpec(2, workload.Terasort, 1280, 2, 0),
+		workload.NewJobSpec(3, workload.Wordcount, 1280, 2, 0),
+	}
+	d, err := mapreduce.NewDriver(cluster.Testbed(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.Run(jobs, 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Jobs) != 4 {
+		t.Fatalf("finished %d/4 jobs", len(stats.Jobs))
+	}
+}
+
+func TestCapacitySmallQueueNotStarved(t *testing.T) {
+	// A big job hogs queue 0; queue 1's small job must still progress on
+	// its guaranteed share rather than waiting for the big job.
+	queues := []sched.CapacityQueue{
+		{Name: "big", Share: 0.8},
+		{Name: "small", Share: 0.2},
+	}
+	s := sched.MustNewCapacity(queues, func(j *mapreduce.Job) int {
+		if j.Spec.ID == 0 {
+			return 0
+		}
+		return 1
+	})
+	cfg := mapreduce.DefaultConfig()
+	jobs := []workload.JobSpec{
+		workload.NewJobSpec(0, workload.Wordcount, 12800, 4, 0),
+		workload.NewJobSpec(1, workload.Grep, 640, 1, 0),
+	}
+	d, err := mapreduce.NewDriver(cluster.Testbed(), s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := d.Run(jobs, 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := stats.JobByID(1)
+	big := stats.JobByID(0)
+	if small == nil || big == nil {
+		t.Fatal("missing job results")
+	}
+	if small.Finished >= big.Finished {
+		t.Errorf("small queue job finished at %v, after the big job at %v",
+			small.Finished, big.Finished)
+	}
+}
+
+func TestFairDelaySchedulingImprovesLocality(t *testing.T) {
+	// With single-replica placement most machines are remote for most
+	// blocks, so plain Fair takes many remote assignments; delay
+	// scheduling waits for local offers.
+	runWith := func(s mapreduce.Scheduler) float64 {
+		cfg := mapreduce.DefaultConfig()
+		cfg.Replication = 1
+		d, err := mapreduce.NewDriver(cluster.Testbed(), s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := workload.Batch(workload.Grep, 4, 3200, 2, 0)
+		stats, err := d.Run(jobs, 12*time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stats.Jobs) != 4 {
+			t.Fatalf("%s finished %d/4 jobs", s.Name(), len(stats.Jobs))
+		}
+		return stats.LocalityFraction()
+	}
+	plain := runWith(sched.NewFair())
+	delayed := runWith(sched.NewFairWithDelay(5))
+	if delayed <= plain {
+		t.Errorf("delay scheduling locality %.3f not above plain %.3f", delayed, plain)
+	}
+	t.Logf("locality: plain %.3f vs delay %.3f", plain, delayed)
+}

@@ -1,0 +1,180 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of timestamped
+// events. Events scheduled for the same instant fire in the order they were
+// scheduled, which keeps runs bit-for-bit reproducible under a fixed seed.
+// All simulated Hadoop machinery (heartbeats, task completions, control
+// intervals) is driven by this engine.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the event queue drained or the horizon was reached.
+var ErrStopped = errors.New("sim: stopped")
+
+// Handler is a callback fired when an event's time arrives. The engine's
+// clock is already advanced to the event time when the handler runs.
+type Handler func()
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same virtual instant so execution order is deterministic.
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        Handler
+	ceiling   bool // horizon marker, fires after same-time regular events
+	cancelled bool
+}
+
+// EventHandle cancels a scheduled event. The zero value is a no-op.
+type EventHandle struct{ ev *event }
+
+// Cancel prevents the event from firing. Safe to call multiple times and
+// after the event has fired (then it has no effect).
+func (h EventHandle) Cancel() {
+	if h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (h EventHandle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
+
+// eventHeap orders events by (time, ceiling, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].ceiling != h[j].ceiling {
+		return !h[i].ceiling
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with NewEngine. Engine is not safe for concurrent
+// use: the simulation model is a single logical process.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with its clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time, measured from simulation start.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled but not yet executed.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule registers fn to run at absolute virtual time at, returning a
+// handle that can cancel it. Scheduling in the past (before Now) is a
+// programming error and panics, because it would silently corrupt
+// causality in the model.
+func (e *Engine) Schedule(at time.Duration, fn Handler) EventHandle {
+	if fn == nil {
+		panic("sim: Schedule called with nil handler")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Schedule(%v) is before Now()=%v", at, e.now))
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return EventHandle{ev: ev}
+}
+
+// ScheduleAfter registers fn to run d after the current virtual time.
+// Negative d panics.
+func (e *Engine) ScheduleAfter(d time.Duration, fn Handler) EventHandle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: ScheduleAfter(%v) with negative delay", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Every schedules fn at start and then every period thereafter, until the
+// simulation ends or until fn's returned false. It is the building block
+// for heartbeats and control intervals.
+func (e *Engine) Every(start, period time.Duration, fn func() bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
+	}
+	var tick Handler
+	tick = func() {
+		if !fn() {
+			return
+		}
+		e.ScheduleAfter(period, tick)
+	}
+	e.Schedule(start, tick)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty.
+// It returns ErrStopped if Stop was called.
+func (e *Engine) Run() error {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes events in timestamp order until the queue is empty or
+// the clock would pass horizon (exclusive of events strictly later than
+// horizon). A negative horizon means no limit. When the horizon cuts the
+// run short, the clock is left at the horizon so energy integration over
+// [0, horizon] is exact; when the queue drains first, the clock stays at
+// the last event (the makespan), not the horizon.
+func (e *Engine) RunUntil(horizon time.Duration) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if horizon >= 0 && next.at > horizon {
+			e.now = horizon
+			return nil
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestEngineTiesFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineScheduleDuringRun(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	e.Schedule(time.Second, func() {
+		e.ScheduleAfter(time.Second, func() { fired++ })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1 {
+		t.Errorf("nested event fired %d times, want 1", fired)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want 2s", e.Now())
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(time.Second, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEngineNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	NewEngine().Schedule(0, nil)
+}
+
+func TestEngineRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(3 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events before horizon, want 3", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want horizon 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	// Resuming runs the remainder.
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 5 {
+		t.Errorf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestEngineRunUntilLeavesClockAtLastEventWhenDrained(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(4*time.Second, func() {})
+	if err := e.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if e.Now() != 4*time.Second {
+		t.Errorf("Now() = %v, want 4s (makespan, not horizon)", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	e.Schedule(time.Second, func() { fired++; e.Stop() })
+	e.Schedule(2*time.Second, func() { fired++ })
+	if err := e.Run(); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine()
+	var ticks []time.Duration
+	e.Every(time.Second, 2*time.Second, func() bool {
+		ticks = append(ticks, e.Now())
+		return len(ticks) < 4
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []time.Duration{1 * time.Second, 3 * time.Second, 5 * time.Second, 7 * time.Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEngineEveryBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive period did not panic")
+		}
+	}()
+	NewEngine().Every(0, 0, func() bool { return false })
+}
+
+func TestEngineCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	h := e.Schedule(time.Second, func() { fired++ })
+	e.Schedule(2*time.Second, func() { fired++ })
+	h.Cancel()
+	if !h.Cancelled() {
+		t.Error("handle does not report cancelled")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (cancelled event ran?)", fired)
+	}
+}
+
+func TestEngineCancelDuringRun(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var h EventHandle
+	e.Schedule(time.Second, func() { h.Cancel() })
+	h = e.Schedule(2*time.Second, func() { fired++ })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired != 0 {
+		t.Error("event fired despite in-run cancellation")
+	}
+}
+
+func TestEngineCancelIdempotentAndZeroValue(t *testing.T) {
+	var zero EventHandle
+	zero.Cancel() // must not panic
+	if zero.Cancelled() {
+		t.Error("zero handle reports cancelled")
+	}
+	e := NewEngine()
+	h := e.Schedule(time.Second, func() {})
+	h.Cancel()
+	h.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Fired() != 7 {
+		t.Errorf("Fired() = %d, want 7", e.Fired())
+	}
+}

@@ -1,0 +1,63 @@
+package tabwrite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := New("Energy", "machine", "joules")
+	tb.AddRow("Desktop", 123.456)
+	tb.AddRow("Atom", 7.0)
+	out := tb.String()
+	if !strings.Contains(out, "Energy") || !strings.Contains(out, "machine") {
+		t.Errorf("missing title/header in output:\n%s", out)
+	}
+	if !strings.Contains(out, "Desktop") || !strings.Contains(out, "123.5") {
+		t.Errorf("missing row data in output:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow(1)
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") || strings.Contains(out, "---") {
+		t.Errorf("untitled table rendered a title block:\n%q", out)
+	}
+}
+
+func TestCellFormatsDecimals(t *testing.T) {
+	if got := Cell(3.14159, 2); got != "3.14" {
+		t.Errorf("Cell = %q, want 3.14", got)
+	}
+	if got := Cell(2, 0); got != "2" {
+		t.Errorf("Cell = %q, want 2", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("t", "name", "note")
+	tb.AddRow("a,b", `say "hi"`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestAddRowFormatsFloats(t *testing.T) {
+	tb := New("t", "v")
+	tb.AddRow(float32(1.5))
+	tb.AddRow(0.000123456)
+	if tb.Rows[0][0] != "1.5" {
+		t.Errorf("float32 cell = %q", tb.Rows[0][0])
+	}
+	if tb.Rows[1][0] != "0.0001235" {
+		t.Errorf("small float cell = %q", tb.Rows[1][0])
+	}
+}

@@ -1,0 +1,178 @@
+// Package trace exports simulation results as machine-readable event
+// streams for external analysis (plotting the paper's figures with other
+// tools, diffing runs, feeding notebooks). Two formats:
+//
+//   - JSON Lines: one event object per line, schema below.
+//   - CSV: the same task records as a flat table.
+//
+// The stream interleaves three event kinds ordered by virtual time:
+// "job" (completion of a job with its phase timeline), "task" (completion
+// of a task attempt, when the run kept task records), and "energy" (the
+// per-control-tick fleet snapshot).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"eant/internal/mapreduce"
+)
+
+// Event is one line of a JSONL trace.
+type Event struct {
+	// Kind is "job", "task" or "energy".
+	Kind string `json:"kind"`
+	// At is the event's virtual time in seconds.
+	At float64 `json:"at"`
+
+	// Task fields (kind == "task").
+	JobID       int     `json:"job_id,omitempty"`
+	App         string  `json:"app,omitempty"`
+	Class       string  `json:"class,omitempty"`
+	TaskKind    string  `json:"task_kind,omitempty"`
+	MachineID   int     `json:"machine_id,omitempty"`
+	MachineType string  `json:"machine_type,omitempty"`
+	StartSec    float64 `json:"start_sec,omitempty"`
+	EstJoules   float64 `json:"est_joules,omitempty"`
+	TrueJoules  float64 `json:"true_joules,omitempty"`
+	Local       bool    `json:"local,omitempty"`
+
+	// Job fields (kind == "job").
+	SubmittedSec  float64 `json:"submitted_sec,omitempty"`
+	MapsDoneSec   float64 `json:"maps_done_sec,omitempty"`
+	ShuffleEndSec float64 `json:"shuffle_end_sec,omitempty"`
+
+	// Energy fields (kind == "energy").
+	TotalJoules float64 `json:"total_joules,omitempty"`
+	TasksDone   int     `json:"tasks_done,omitempty"`
+}
+
+// WriteJSONL streams the run's events in virtual-time order as JSON Lines.
+func WriteJSONL(w io.Writer, stats *mapreduce.Stats) error {
+	if stats == nil {
+		return fmt.Errorf("trace: nil stats")
+	}
+	events := collect(stats)
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// collect flattens stats into time-ordered events.
+func collect(stats *mapreduce.Stats) []Event {
+	var events []Event
+	for _, t := range stats.Tasks {
+		events = append(events, Event{
+			Kind:        "task",
+			At:          t.Finish.Seconds(),
+			JobID:       t.JobID,
+			App:         t.App.String(),
+			Class:       t.Class.String(),
+			TaskKind:    t.Kind.String(),
+			MachineID:   t.MachineID,
+			MachineType: t.MachineType,
+			StartSec:    t.Start.Seconds(),
+			EstJoules:   t.EstJoules,
+			TrueJoules:  t.TrueJoules,
+			Local:       t.Local,
+		})
+	}
+	for _, j := range stats.Jobs {
+		events = append(events, Event{
+			Kind:          "job",
+			At:            j.Finished.Seconds(),
+			JobID:         j.Spec.ID,
+			App:           j.Spec.App.String(),
+			Class:         j.Spec.Class.String(),
+			SubmittedSec:  j.Submitted.Seconds(),
+			StartSec:      j.FirstStart.Seconds(),
+			MapsDoneSec:   j.MapsDoneAt.Seconds(),
+			ShuffleEndSec: j.LastShuffleEnd.Seconds(),
+		})
+	}
+	for _, p := range stats.Timeline {
+		events = append(events, Event{
+			Kind:        "energy",
+			At:          p.At.Seconds(),
+			TotalJoules: p.TotalJoules,
+			TasksDone:   p.TasksDone,
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}
+
+// WriteTasksCSV writes the per-task records as CSV. The run must have
+// been configured with KeepTaskRecords.
+func WriteTasksCSV(w io.Writer, stats *mapreduce.Stats) error {
+	if stats == nil {
+		return fmt.Errorf("trace: nil stats")
+	}
+	if len(stats.Tasks) == 0 {
+		return fmt.Errorf("trace: no task records (run with KeepTaskRecords)")
+	}
+	if _, err := fmt.Fprintln(w, "job_id,app,class,kind,machine_id,machine_type,start_sec,finish_sec,est_joules,true_joules,local"); err != nil {
+		return err
+	}
+	for _, t := range stats.Tasks {
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%s,%d,%s,%.3f,%.3f,%.3f,%.3f,%t\n",
+			t.JobID, t.App, t.Class, t.Kind, t.MachineID, t.MachineType,
+			t.Start.Seconds(), t.Finish.Seconds(), t.EstJoules, t.TrueJoules, t.Local)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary condenses a run into the quantities most analyses start from.
+type Summary struct {
+	Scheduler     string             `json:"scheduler"`
+	MakespanSec   float64            `json:"makespan_sec"`
+	TotalJoules   float64            `json:"total_joules"`
+	JobsCompleted int                `json:"jobs_completed"`
+	TasksDone     int                `json:"tasks_done"`
+	Locality      float64            `json:"locality"`
+	TypeJoules    map[string]float64 `json:"type_joules"`
+	TypeAvgUtil   map[string]float64 `json:"type_avg_util"`
+	MeanJCTSec    float64            `json:"mean_jct_sec"`
+}
+
+// Summarize extracts a Summary from run statistics.
+func Summarize(stats *mapreduce.Stats) Summary {
+	s := Summary{
+		Scheduler:     stats.Scheduler,
+		MakespanSec:   stats.Horizon.Seconds(),
+		TotalJoules:   stats.TotalJoules,
+		JobsCompleted: len(stats.Jobs),
+		TasksDone:     stats.TasksDone(),
+		Locality:      stats.LocalityFraction(),
+		TypeJoules:    stats.TypeJoules,
+		TypeAvgUtil:   stats.TypeAvgUtil,
+	}
+	if len(stats.Jobs) > 0 {
+		var sum time.Duration
+		for _, j := range stats.Jobs {
+			sum += j.CompletionTime()
+		}
+		s.MeanJCTSec = (sum / time.Duration(len(stats.Jobs))).Seconds()
+	}
+	return s
+}
+
+// WriteSummary emits the summary as a single JSON object.
+func WriteSummary(w io.Writer, stats *mapreduce.Stats) error {
+	if stats == nil {
+		return fmt.Errorf("trace: nil stats")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Summarize(stats))
+}

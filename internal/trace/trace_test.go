@@ -1,0 +1,134 @@
+package trace_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"eant/internal/cluster"
+	"eant/internal/mapreduce"
+	"eant/internal/sched"
+	"eant/internal/trace"
+	"eant/internal/workload"
+)
+
+func runStats(t *testing.T, keepTasks bool) *mapreduce.Stats {
+	t.Helper()
+	cfg := mapreduce.DefaultConfig()
+	cfg.ControlInterval = 30_000_000_000 // 30 s
+	cfg.KeepTaskRecords = keepTasks
+	c := cluster.MustNew(
+		cluster.Group{Spec: cluster.SpecDesktop, Count: 2},
+		cluster.Group{Spec: cluster.SpecT420, Count: 1},
+	)
+	d, err := mapreduce.NewDriver(c, sched.NewFair(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []workload.JobSpec{
+		workload.NewJobSpec(0, workload.Wordcount, 1280, 2, 0),
+		workload.NewJobSpec(1, workload.Grep, 640, 1, 0),
+	}
+	stats, err := d.Run(jobs, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestWriteJSONLWellFormedAndOrdered(t *testing.T) {
+	stats := runStats(t, true)
+	var sb strings.Builder
+	if err := trace.WriteJSONL(&sb, stats); err != nil {
+		t.Fatal(err)
+	}
+	scanner := bufio.NewScanner(strings.NewReader(sb.String()))
+	var last float64
+	kinds := map[string]int{}
+	lines := 0
+	for scanner.Scan() {
+		var ev trace.Event
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if ev.At < last {
+			t.Fatalf("events out of order: %v after %v", ev.At, last)
+		}
+		last = ev.At
+		kinds[ev.Kind]++
+		lines++
+	}
+	wantTasks := 20 + 2 + 10 + 1
+	if kinds["task"] != wantTasks {
+		t.Errorf("task events = %d, want %d", kinds["task"], wantTasks)
+	}
+	if kinds["job"] != 2 {
+		t.Errorf("job events = %d, want 2", kinds["job"])
+	}
+}
+
+func TestWriteJSONLNilStats(t *testing.T) {
+	if err := trace.WriteJSONL(&strings.Builder{}, nil); err == nil {
+		t.Error("nil stats accepted")
+	}
+}
+
+func TestWriteTasksCSV(t *testing.T) {
+	stats := runStats(t, true)
+	var sb strings.Builder
+	if err := trace.WriteTasksCSV(&sb, stats); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+33 {
+		t.Errorf("CSV lines = %d, want header + 33 tasks", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "job_id,app,class,kind") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	for i, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 10 {
+			t.Fatalf("row %d has %d commas, want 10: %s", i, got, line)
+		}
+	}
+}
+
+func TestWriteTasksCSVWithoutRecords(t *testing.T) {
+	stats := runStats(t, false)
+	if err := trace.WriteTasksCSV(&strings.Builder{}, stats); err == nil {
+		t.Error("missing task records accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	stats := runStats(t, false)
+	s := trace.Summarize(stats)
+	if s.Scheduler != "Fair" {
+		t.Errorf("scheduler = %q", s.Scheduler)
+	}
+	if s.JobsCompleted != 2 || s.TasksDone != 33 {
+		t.Errorf("jobs=%d tasks=%d, want 2/33", s.JobsCompleted, s.TasksDone)
+	}
+	if s.TotalJoules <= 0 || s.MakespanSec <= 0 || s.MeanJCTSec <= 0 {
+		t.Error("empty summary quantities")
+	}
+	if len(s.TypeJoules) != 2 {
+		t.Errorf("type joules entries = %d, want 2", len(s.TypeJoules))
+	}
+}
+
+func TestWriteSummaryJSON(t *testing.T) {
+	stats := runStats(t, false)
+	var sb strings.Builder
+	if err := trace.WriteSummary(&sb, stats); err != nil {
+		t.Fatal(err)
+	}
+	var decoded trace.Summary
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("summary not valid JSON: %v", err)
+	}
+	if decoded.Scheduler != "Fair" {
+		t.Errorf("round-tripped scheduler = %q", decoded.Scheduler)
+	}
+}

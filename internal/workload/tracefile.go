@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Trace I/O: job specs serialize to a small CSV dialect so externally
+// collected workloads (e.g. SWIM-style production traces) can be replayed
+// through the simulator, and generated workloads (the MSD instances) can
+// be archived alongside results.
+//
+// Columns: id, app, class, input_mb, num_reduces, submit_ns.
+// The map count is derived from input_mb (one per 64 MB block), matching
+// NewJobSpec.
+
+// traceHeader is the first CSV row.
+var traceHeader = []string{"id", "app", "class", "input_mb", "num_reduces", "submit_ns"}
+
+// WriteTrace serializes jobs as CSV.
+func WriteTrace(w io.Writer, jobs []JobSpec) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: write trace header: %w", err)
+	}
+	for _, j := range jobs {
+		rec := []string{
+			strconv.Itoa(j.ID),
+			j.App.String(),
+			j.Class.String(),
+			strconv.FormatFloat(j.InputMB, 'f', -1, 64),
+			strconv.Itoa(j.NumReduces),
+			strconv.FormatInt(j.Submit.Nanoseconds(), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: write trace row %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace back into validated job specs.
+func ReadTrace(r io.Reader) ([]JobSpec, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = len(traceHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	for i, col := range traceHeader {
+		if rows[0][i] != col {
+			return nil, fmt.Errorf("workload: trace header column %d is %q, want %q", i, rows[0][i], col)
+		}
+	}
+	jobs := make([]JobSpec, 0, len(rows)-1)
+	for n, row := range rows[1:] {
+		line := n + 2
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad id %q", line, row[0])
+		}
+		app, err := ParseApp(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		class, err := parseClass(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		inputMB, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad input_mb %q", line, row[3])
+		}
+		reduces, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad num_reduces %q", line, row[4])
+		}
+		submitNS, err := strconv.ParseInt(row[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad submit_ns %q", line, row[5])
+		}
+		j := NewJobSpec(id, app, inputMB, reduces, time.Duration(submitNS))
+		j.Class = class
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// parseClass resolves a size-class label as printed by SizeClass.String.
+func parseClass(s string) (SizeClass, error) {
+	switch s {
+	case "S":
+		return Small, nil
+	case "M":
+		return Medium, nil
+	case "L":
+		return Large, nil
+	case "-":
+		return Unclassified, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown size class %q", s)
+	}
+}

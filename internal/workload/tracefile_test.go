@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eant/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig, err := GenerateMSD(MSDConfig{Jobs: 30, Scale: 64, MeanInterarrival: 20 * time.Second}, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, orig); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	back, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round-tripped %d jobs, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("job %d mutated: %+v vs %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestTraceRoundTripUnclassified(t *testing.T) {
+	orig := []JobSpec{NewJobSpec(3, Terasort, 777, 2, 90*time.Second)}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != orig[0] {
+		t.Fatalf("unclassified job mutated: %+v vs %+v", back[0], orig[0])
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "id,app,class,input_mb,reduces,submit_ns\n",
+		"bad id":       "id,app,class,input_mb,num_reduces,submit_ns\nx,Grep,S,64,1,0\n",
+		"bad app":      "id,app,class,input_mb,num_reduces,submit_ns\n1,Sort,S,64,1,0\n",
+		"bad class":    "id,app,class,input_mb,num_reduces,submit_ns\n1,Grep,Q,64,1,0\n",
+		"bad input":    "id,app,class,input_mb,num_reduces,submit_ns\n1,Grep,S,abc,1,0\n",
+		"bad reduces":  "id,app,class,input_mb,num_reduces,submit_ns\n1,Grep,S,64,x,0\n",
+		"bad submit":   "id,app,class,input_mb,num_reduces,submit_ns\n1,Grep,S,64,1,x\n",
+		"neg input":    "id,app,class,input_mb,num_reduces,submit_ns\n1,Grep,S,-5,1,0\n",
+		"wrong fields": "id,app,class,input_mb,num_reduces,submit_ns\n1,Grep,S,64\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestTraceHeaderStable(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(sb.String()); got != "id,app,class,input_mb,num_reduces,submit_ns" {
+		t.Errorf("header = %q", got)
+	}
+}
