@@ -129,7 +129,7 @@ func allNames() []string {
 		"fig1a", "fig1b", "fig1c", "fig1d",
 		"fig4", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11a", "fig11b", "fig12a", "fig12b",
-		"consolidation", "compare", "trace", "sweep", "all",
+		"consolidation", "failures", "compare", "trace", "sweep", "all",
 	}
 }
 
@@ -239,6 +239,14 @@ func tablesFor(name string, jobs int, seed int64) ([]*tabwrite.Table, error) {
 		return one(r.Table(), nil)
 	case "consolidation":
 		r, err := experiments.Consolidation()
+		if err != nil {
+			return nil, err
+		}
+		return one(r.Table(), nil)
+	case "failures":
+		cfg := experiments.DefaultFailureSweepConfig()
+		cfg.Seed = seed
+		r, err := experiments.FailureSweepRun(cfg)
 		if err != nil {
 			return nil, err
 		}

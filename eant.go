@@ -36,6 +36,7 @@ import (
 
 	"eant/internal/cluster"
 	"eant/internal/core"
+	"eant/internal/fault"
 	"eant/internal/mapreduce"
 	"eant/internal/noise"
 	"eant/internal/sched"
@@ -154,6 +155,20 @@ func DefaultNoise() NoiseConfig { return noise.Default() }
 // NoNoise returns the noise-free configuration.
 func NoNoise() NoiseConfig { return noise.Off() }
 
+// FaultConfig configures machine-crash and task-attempt-failure
+// injection (MTBF/MTTR phases, scripted scenarios, retry budgets,
+// blacklisting). The zero value disables every failure source.
+type FaultConfig = fault.Config
+
+// FaultEvent is one scripted crash or recovery in FaultConfig.Scenario.
+type FaultEvent = fault.Event
+
+// Scripted fault event kinds.
+const (
+	FaultCrash   = fault.Crash
+	FaultRecover = fault.Recover
+)
+
 // RunSpec configures one simulated campaign.
 type RunSpec struct {
 	// Cluster to run on; required.
@@ -182,6 +197,11 @@ type RunSpec struct {
 	// machines outside a covering subset sleep and wake on demand (the
 	// paper's §VIII future work). Zero-value fields take defaults.
 	Consolidation *Consolidation
+	// Faults, when non-nil, injects machine crashes and task-attempt
+	// failures; the driver retries, re-executes lost map outputs, and
+	// blacklists per FaultConfig. Nil (or the zero value) is a strict
+	// no-op.
+	Faults *FaultConfig
 }
 
 // Consolidation configures server power management; see
@@ -259,6 +279,9 @@ func Run(spec RunSpec) (*Result, error) {
 		cfg.Noise = *spec.Noise
 	} else {
 		cfg.Noise = noise.Default()
+	}
+	if spec.Faults != nil {
+		cfg.Fault = *spec.Faults
 	}
 
 	driver, err := mapreduce.NewDriver(spec.Cluster, s, cfg)

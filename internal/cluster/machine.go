@@ -89,6 +89,10 @@ type Machine struct {
 	// policy.
 	asleep     bool
 	sleepWatts float64
+
+	// dead marks a crashed machine (fault injection): it holds no slots,
+	// draws no power, and is skipped by heartbeats until repaired.
+	dead bool
 }
 
 // NewMachine returns a machine of the given type.
@@ -102,11 +106,23 @@ func NewMachine(id int, spec *TypeSpec) *Machine {
 // String identifies the machine for logs: "T420#3".
 func (m *Machine) String() string { return fmt.Sprintf("%s#%d", m.Spec.Name, m.ID) }
 
-// FreeMapSlots returns the number of unoccupied map slots.
-func (m *Machine) FreeMapSlots() int { return m.Spec.MapSlots - m.runningMap }
+// FreeMapSlots returns the number of unoccupied map slots; a dead machine
+// has none.
+func (m *Machine) FreeMapSlots() int {
+	if m.dead {
+		return 0
+	}
+	return m.Spec.MapSlots - m.runningMap
+}
 
-// FreeReduceSlots returns the number of unoccupied reduce slots.
-func (m *Machine) FreeReduceSlots() int { return m.Spec.ReduceSlots - m.runningReduce }
+// FreeReduceSlots returns the number of unoccupied reduce slots; a dead
+// machine has none.
+func (m *Machine) FreeReduceSlots() int {
+	if m.dead {
+		return 0
+	}
+	return m.Spec.ReduceSlots - m.runningReduce
+}
 
 // RunningMap returns the number of occupied map slots.
 func (m *Machine) RunningMap() int { return m.runningMap }
@@ -120,9 +136,12 @@ func (m *Machine) Running() int { return m.runningMap + m.runningReduce }
 // Utilization returns the current whole-machine CPU utilization in [0, 1].
 func (m *Machine) Utilization() float64 { return m.util }
 
-// Power returns the current draw in watts: the standby draw while asleep,
-// the envelope P_idle + α·U otherwise.
+// Power returns the current draw in watts: zero while dead, the standby
+// draw while asleep, the envelope P_idle + α·U otherwise.
 func (m *Machine) Power() float64 {
+	if m.dead {
+		return 0
+	}
 	if m.asleep {
 		return m.sleepWatts
 	}
@@ -131,6 +150,26 @@ func (m *Machine) Power() float64 {
 
 // Asleep reports whether the machine is powered down.
 func (m *Machine) Asleep() bool { return m.asleep }
+
+// Available reports whether the machine can run tasks (not crashed).
+func (m *Machine) Available() bool { return !m.dead }
+
+// Fail crashes the machine: it leaves the slot pool and draws no power
+// until Repair. The driver must kill (and release) every running attempt
+// first; failing a machine with occupied slots is a model bug and panics.
+// A sleeping machine may crash; the crash clears the sleep state (the
+// eventual repair is a reboot into the normal idle envelope).
+func (m *Machine) Fail() {
+	if m.Running() > 0 {
+		panic(fmt.Sprintf("cluster: %s crashed with %d running tasks", m, m.Running()))
+	}
+	m.dead = true
+	m.asleep = false
+	m.sleepWatts = 0
+}
+
+// Repair returns a crashed machine to service. Idempotent.
+func (m *Machine) Repair() { m.dead = false }
 
 // Sleep powers the machine down to the given standby draw. Sleeping with
 // tasks running is a policy bug and panics.
@@ -151,7 +190,7 @@ func (m *Machine) Wake() { m.asleep = false }
 // AcquireMap claims a map slot and adds the task's CPU share. It returns
 // false without side effects when no map slot is free.
 func (m *Machine) AcquireMap(cpuShare float64) bool {
-	if m.runningMap >= m.Spec.MapSlots {
+	if m.dead || m.runningMap >= m.Spec.MapSlots {
 		return false
 	}
 	m.runningMap++
@@ -162,7 +201,7 @@ func (m *Machine) AcquireMap(cpuShare float64) bool {
 // AcquireReduce claims a reduce slot and adds the task's CPU share. It
 // returns false without side effects when no reduce slot is free.
 func (m *Machine) AcquireReduce(cpuShare float64) bool {
-	if m.runningReduce >= m.Spec.ReduceSlots {
+	if m.dead || m.runningReduce >= m.Spec.ReduceSlots {
 		return false
 	}
 	m.runningReduce++

@@ -104,21 +104,39 @@ func key(j *mapreduce.Job, kind mapreduce.TaskKind) ColonyKey {
 	return ColonyKey{JobID: j.Spec.ID, App: j.Spec.App, Kind: kind}
 }
 
-// eta evaluates the fairness branch of the heuristic function (Eq. 7):
+// FairnessEta evaluates the fairness branch of the heuristic function
+// (Eq. 7):
 //
 //	η(j) = 1 / (1 − (S_min − S_occ)/S_pool)
 //
-// η > 1 for starved jobs, < 1 for jobs above fair share.
-func (e *EAnt) eta(ctx *mapreduce.Context, j *mapreduce.Job) float64 {
-	spool := float64(ctx.TotalSlots())
-	if spool <= 0 {
+// η > 1 for starved jobs (occupancy sOcc below the fair share sMin), < 1
+// for jobs above fair share, clamped into [1/etaMax, etaMax]. The locality
+// branch's η = ∞ is represented by the etaMax cap. An empty slot pool
+// (sPool ≤ 0) yields the neutral η = 1.
+func FairnessEta(sMin, sOcc, sPool, etaMax float64) float64 {
+	if sPool <= 0 {
 		return 1
 	}
-	denom := 1 - (ctx.FairShare(j)-float64(j.Running()))/spool
-	if denom <= 1/e.p.EtaMax {
-		return e.p.EtaMax
+	denom := 1 - (sMin-sOcc)/sPool
+	if denom <= 1/etaMax {
+		return etaMax
 	}
-	return clamp(1/denom, 1/e.p.EtaMax, e.p.EtaMax)
+	return clamp(1/denom, 1/etaMax, etaMax)
+}
+
+// HeuristicWeight evaluates the Eq. 8 numerator τ·η^β. β ≤ 0 disables the
+// heuristic term entirely (pure pheromone selection).
+func HeuristicWeight(tau, eta, beta float64) float64 {
+	if beta <= 0 {
+		return tau
+	}
+	return tau * math.Pow(eta, beta)
+}
+
+// eta evaluates Eq. 7's fairness branch for one job against the live slot
+// pool (which shrinks while machines are crashed).
+func (e *EAnt) eta(ctx *mapreduce.Context, j *mapreduce.Job) float64 {
+	return FairnessEta(ctx.FairShare(j), float64(j.Running()), float64(ctx.TotalSlots()), e.p.EtaMax)
 }
 
 // weight evaluates the Eq. 8 numerator τ(j,m)·η(j,m)^β. Following Eq. 7,
@@ -126,15 +144,15 @@ func (e *EAnt) eta(ctx *mapreduce.Context, j *mapreduce.Job) float64 {
 // the machine, and the fairness deficit otherwise; β controls how hard
 // heuristic information overrides the energy trails.
 func (e *EAnt) weight(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m *cluster.Machine) float64 {
-	w := e.mx.Tau(k, m.ID)
+	tau := e.mx.Tau(k, m.ID)
 	if e.p.Beta <= 0 {
-		return w
+		return tau
 	}
 	eta := e.eta(ctx, j)
 	if k.Kind == mapreduce.MapTask && ctx.HasLocalMap(j, m) {
 		eta = e.p.EtaMax
 	}
-	return w * math.Pow(eta, e.p.Beta)
+	return HeuristicWeight(tau, eta, e.p.Beta)
 }
 
 // pickColony draws one job from candidates by roulette over Eq. 8 weights
@@ -156,7 +174,7 @@ func (e *EAnt) pickColony(ctx *mapreduce.Context, m *cluster.Machine, candidates
 		}
 		return candidates[best]
 	}
-	return candidates[ctx.Rng.Roulette(weights)]
+	return candidates[RouletteSelect(ctx.Rng, weights, nil)]
 }
 
 // betterHostFactor is how much stronger another machine's trail must be
@@ -233,7 +251,7 @@ func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m 
 // across awake machines other than m.
 func (e *EAnt) awakeCapacity(ctx *mapreduce.Context, kind mapreduce.TaskKind, m *cluster.Machine) (slots, free int) {
 	for _, other := range ctx.Cluster.Machines() {
-		if other.ID == m.ID || other.Asleep() {
+		if other.ID == m.ID || other.Asleep() || !other.Available() {
 			continue
 		}
 		if kind == mapreduce.ReduceTask {
@@ -253,7 +271,7 @@ func (e *EAnt) awakeCapacity(ctx *mapreduce.Context, kind mapreduce.TaskKind, m 
 func (e *EAnt) betterHostCapacity(ctx *mapreduce.Context, k ColonyKey, m *cluster.Machine) (slots, free int) {
 	threshold := e.mx.Tau(k, m.ID) * betterHostFactor
 	for _, other := range ctx.Cluster.Machines() {
-		if other.ID == m.ID || e.mx.Tau(k, other.ID) < threshold {
+		if other.ID == m.ID || !other.Available() || e.mx.Tau(k, other.ID) < threshold {
 			continue
 		}
 		if k.Kind == mapreduce.ReduceTask {
@@ -393,7 +411,18 @@ func (e *EAnt) OnControlTick(ctx *mapreduce.Context) {
 			e.mx.Retire(k.JobID)
 		}
 	}
-	e.mx.Update(e.typeGroups)
+	// Crashed machines' trails are frozen out of the exchange and left to
+	// evaporate (nil when the fleet is healthy, preserving Update exactly).
+	var unavailable []bool
+	for _, m := range ctx.Cluster.Machines() {
+		if !m.Available() {
+			if unavailable == nil {
+				unavailable = make([]bool, ctx.Cluster.Size())
+			}
+			unavailable[m.ID] = true
+		}
+	}
+	e.mx.UpdateWithAvailability(e.typeGroups, unavailable)
 	if e.trackTrails {
 		for k := range e.mx.tau {
 			e.trails[k] = append(e.trails[k], TrailSnapshot{

@@ -1,0 +1,248 @@
+package core_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"eant/internal/core"
+	"eant/internal/sim"
+)
+
+func TestFairnessEta(t *testing.T) {
+	const etaMax = 10.0
+	cases := []struct {
+		name              string
+		sMin, sOcc, sPool float64
+		want              float64
+	}{
+		// Empty pool (no live slots at all) is neutral by definition.
+		{"emptyPool", 3, 1, 0, 1},
+		{"negativePool", 3, 1, -4, 1},
+		// At exactly fair share the heuristic is neutral.
+		{"atShare", 5, 5, 20, 1},
+		// Starved job: occupancy below fair share boosts η above 1.
+		// denom = 1 - (5-1)/20 = 0.8 → η = 1.25.
+		{"starved", 5, 1, 20, 1.25},
+		// Above fair share: η dips below 1. denom = 1 - (5-9)/20 = 1.2.
+		{"aboveShare", 5, 9, 20, 1 / 1.2},
+		// Fully starved job whose deficit equals the pool hits the cap
+		// (denom → 0 stands in for the locality branch's η = ∞).
+		{"deficitEqualsPool", 20, 0, 20, etaMax},
+		// Deficit beyond the pool would make denom negative; still capped.
+		{"deficitBeyondPool", 40, 0, 20, etaMax},
+		// Massive over-occupancy clamps at the floor 1/etaMax.
+		{"gluttonFloor", 0, 1000, 10, 1 / etaMax},
+	}
+	for _, c := range cases {
+		got := core.FairnessEta(c.sMin, c.sOcc, c.sPool, etaMax)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: FairnessEta(%v, %v, %v) = %v, want %v",
+				c.name, c.sMin, c.sOcc, c.sPool, got, c.want)
+		}
+	}
+}
+
+func TestFairnessEtaAlwaysWithinClamp(t *testing.T) {
+	const etaMax = 8.0
+	for _, sMin := range []float64{0, 1, 7, 100} {
+		for _, sOcc := range []float64{0, 1, 7, 100} {
+			for _, sPool := range []float64{0, 1, 16, 87} {
+				got := core.FairnessEta(sMin, sOcc, sPool, etaMax)
+				if got < 1/etaMax-1e-12 || got > etaMax+1e-12 {
+					t.Fatalf("FairnessEta(%v, %v, %v) = %v escapes [%v, %v]",
+						sMin, sOcc, sPool, got, 1/etaMax, etaMax)
+				}
+			}
+		}
+	}
+}
+
+func TestHeuristicWeight(t *testing.T) {
+	cases := []struct {
+		name           string
+		tau, eta, beta float64
+		want           float64
+	}{
+		// β ≤ 0 disables the heuristic term: pure pheromone selection.
+		{"betaZero", 2.5, 4, 0, 2.5},
+		{"betaNegative", 2.5, 4, -1, 2.5},
+		// β = 1 multiplies the trail by the full fairness factor.
+		{"betaOne", 2, 3, 1, 6},
+		// Fractional β dampens the heuristic: 2 · 4^0.5 = 4.
+		{"betaHalf", 2, 4, 0.5, 4},
+		// η < 1 (above fair share) discounts the trail.
+		{"etaBelowOne", 10, 0.25, 0.5, 5},
+		// Neutral η leaves the trail untouched for any β.
+		{"etaNeutral", 3.7, 1, 0.8, 3.7},
+	}
+	for _, c := range cases {
+		got := core.HeuristicWeight(c.tau, c.eta, c.beta)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: HeuristicWeight(%v, %v, %v) = %v, want %v",
+				c.name, c.tau, c.eta, c.beta, got, c.want)
+		}
+	}
+}
+
+func TestRouletteSelectMatchesRouletteWithoutAvailability(t *testing.T) {
+	// The bit-compatibility contract: with available == nil, RouletteSelect
+	// must consume the same draws and return the same indices as
+	// sim.RNG.Roulette, including degenerate all-zero weights.
+	weightSets := [][]float64{
+		{1, 2, 3, 4},
+		{0.3},
+		{0, 0, 5, 0},
+		{0, 0, 0},
+		{1e-9, 1e9, 2},
+	}
+	a, b := sim.NewRNG(99), sim.NewRNG(99)
+	for _, w := range weightSets {
+		for i := 0; i < 200; i++ {
+			got, want := core.RouletteSelect(a, w, nil), b.Roulette(w)
+			if got != want {
+				t.Fatalf("weights %v draw %d: RouletteSelect = %d, Roulette = %d", w, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRouletteSelectRespectsAvailability(t *testing.T) {
+	rng := sim.NewRNG(4)
+	w := []float64{5, 1, 3, 2}
+	avail := []bool{false, true, false, true}
+	for i := 0; i < 500; i++ {
+		got := core.RouletteSelect(rng, w, avail)
+		if got != 1 && got != 3 {
+			t.Fatalf("selected unavailable index %d", got)
+		}
+	}
+	// All eligible weights zero → uniform over eligible only (the big
+	// weights sit on unavailable indices).
+	w = []float64{7, 0, 9, 0}
+	seen := map[int]int{}
+	for i := 0; i < 500; i++ {
+		seen[core.RouletteSelect(rng, w, avail)]++
+	}
+	if seen[0]+seen[2] != 0 || seen[1] == 0 || seen[3] == 0 {
+		t.Errorf("degenerate draw distribution wrong: %v", seen)
+	}
+}
+
+func TestRouletteSelectPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	rng := sim.NewRNG(1)
+	expectPanic("empty weights", func() { core.RouletteSelect(rng, nil, nil) })
+	expectPanic("length mismatch", func() { core.RouletteSelect(rng, []float64{1, 2}, []bool{true}) })
+	expectPanic("nothing available", func() { core.RouletteSelect(rng, []float64{1, 2}, []bool{false, false}) })
+}
+
+func TestSelectionProbabilities(t *testing.T) {
+	p := core.SelectionProbabilities([]float64{1, 3}, nil)
+	if math.Abs(p[0]-0.25) > 1e-12 || math.Abs(p[1]-0.75) > 1e-12 {
+		t.Errorf("probabilities = %v, want [0.25 0.75]", p)
+	}
+	// Unavailable indices carry zero mass even with large weights.
+	p = core.SelectionProbabilities([]float64{100, 1, 1}, []bool{false, true, true})
+	if p[0] != 0 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Errorf("availability-masked probabilities = %v", p)
+	}
+	// Degenerate weights → uniform over eligible.
+	p = core.SelectionProbabilities([]float64{0, math.NaN(), math.Inf(1)}, nil)
+	for i, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Errorf("degenerate p[%d] = %v, want 1/3", i, v)
+		}
+	}
+	// Nothing eligible → nil.
+	if p := core.SelectionProbabilities([]float64{1}, []bool{false}); p != nil {
+		t.Errorf("no-eligible probabilities = %v, want nil", p)
+	}
+	if p := core.SelectionProbabilities(nil, nil); p != nil {
+		t.Errorf("empty probabilities = %v, want nil", p)
+	}
+}
+
+// FuzzRouletteSelect hammers the selection invariants with arbitrary
+// weight vectors (including NaN/Inf bit patterns) and availability masks:
+// the drawn index is always in range and eligible, the nil-availability
+// path stays bit-compatible with sim.RNG.Roulette, and the announced
+// selection distribution is a proper distribution.
+func FuzzRouletteSelect(f *testing.F) {
+	f.Add(int64(1), []byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{1})
+	f.Add(int64(7), []byte{0, 0, 0, 0, 0, 0, 0, 0, 255, 255, 255, 255, 255, 255, 255, 255}, []byte{0, 1})
+	f.Add(int64(-3), []byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 1}, []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, wBytes, aBytes []byte) {
+		n := len(wBytes) / 8
+		if n == 0 || n > 64 {
+			t.Skip()
+		}
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(wBytes[i*8:]))
+		}
+		var available []bool
+		anyAvailable := false
+		if len(aBytes) > 0 {
+			available = make([]bool, n)
+			for i := range available {
+				available[i] = aBytes[i%len(aBytes)]&1 == 1
+				anyAvailable = anyAvailable || available[i]
+			}
+			if !anyAvailable {
+				t.Skip() // panics by contract
+			}
+		}
+
+		rng := sim.NewRNG(seed)
+		got := core.RouletteSelect(rng, weights, available)
+		if got < 0 || got >= n {
+			t.Fatalf("index %d out of range [0, %d)", got, n)
+		}
+		if available != nil && !available[got] {
+			t.Fatalf("selected unavailable index %d (weights %v, available %v)", got, weights, available)
+		}
+
+		// The bit-compatibility contract holds for finite weights only:
+		// sim.RNG.Roulette lets NaN/Inf poison its walk (NaN is neither
+		// summed nor skipped), where RouletteSelect zeroes them.
+		finite := true
+		for _, w := range weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				finite = false
+				break
+			}
+		}
+		if available == nil && finite {
+			ref := sim.NewRNG(seed)
+			if want := ref.Roulette(weights); want != got {
+				t.Fatalf("parity break: RouletteSelect = %d, Roulette = %d (weights %v)", got, want, weights)
+			}
+		}
+
+		p := core.SelectionProbabilities(weights, available)
+		if p == nil {
+			t.Fatalf("no distribution for selectable input (weights %v, available %v)", weights, available)
+		}
+		var sum float64
+		for i, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("p[%d] = %v", i, v)
+			}
+			if available != nil && !available[i] && v != 0 {
+				t.Fatalf("unavailable index %d carries mass %v", i, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	})
+}

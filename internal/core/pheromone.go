@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"eant/internal/mapreduce"
+	"eant/internal/sim"
 	"eant/internal/workload"
 )
 
@@ -160,6 +161,21 @@ func (mx *Matrix) Retire(jobID int) {
 //
 // typeGroups lists machine IDs per homogeneous hardware group.
 func (mx *Matrix) Update(typeGroups [][]int) {
+	mx.UpdateWithAvailability(typeGroups, nil)
+}
+
+// UpdateWithAvailability is Update with machine availability (fault
+// injection): a machine with unavailable[id] set receives no deposit, no
+// share of the exchange averages and no negative feedback — its trails only
+// evaporate toward the floor, so every colony gradually forgets a crashed
+// machine until it recovers and produces fresh feedback. Rewards already
+// recorded for tasks that completed on a since-crashed machine are dropped.
+// A nil unavailable slice means every machine is up and reproduces Update
+// exactly.
+func (mx *Matrix) UpdateWithAvailability(typeGroups [][]int, unavailable []bool) {
+	down := func(id int) bool {
+		return unavailable != nil && id < len(unavailable) && unavailable[id]
+	}
 	delta := make(map[ColonyKey][]float64, len(mx.pending))
 
 	// Stage 1: raw per-path rewards. With SumDeposits the deposit is the
@@ -180,6 +196,9 @@ func (mx *Matrix) Update(typeGroups [][]int) {
 		d := make([]float64, mx.machines)
 		n := make([]int, mx.machines)
 		for _, r := range rs {
+			if down(r.machineID) {
+				continue
+			}
 			d[r.machineID] += avg / r.joules
 			n[r.machineID]++
 		}
@@ -208,6 +227,9 @@ func (mx *Matrix) Update(typeGroups [][]int) {
 					continue
 				}
 				for _, id := range group {
+					if down(id) {
+						continue
+					}
 					if mx.p.SumDeposits {
 						// Average the per-machine sums over members
 						// that produced feedback.
@@ -266,6 +288,11 @@ func (mx *Matrix) Update(typeGroups [][]int) {
 	for key, row := range mx.tau {
 		d := delta[key]
 		for m := 0; m < mx.machines; m++ {
+			if down(m) {
+				// Crashed machine: pure evaporation toward the floor.
+				row[m] = clamp((1-mx.p.Rho)*row[m], mx.p.MinTau, mx.p.MaxTau)
+				continue
+			}
 			dep := 0.0
 			if d != nil {
 				dep = d[m]
@@ -299,6 +326,149 @@ func (mx *Matrix) Update(typeGroups [][]int) {
 	}
 
 	mx.pending = make(map[ColonyKey][]reward)
+}
+
+// RouletteSelect draws index i with probability weights[i]/Σweights,
+// restricted to available indices (available may be nil: every index is
+// eligible). Non-positive and non-finite weights count as zero. When every
+// eligible weight is zero the draw is uniform over the eligible indices,
+// which keeps the assigner alive when pheromones collapse; an unavailable
+// (crashed) index is never returned. It panics on an empty slice, on a
+// length mismatch, and when no index is available at all.
+//
+// With available == nil and finite weights this consumes exactly the same
+// RNG draws and returns exactly the same index as sim.RNG.Roulette, so the
+// E-Ant assignment stream is unchanged on a healthy cluster.
+func RouletteSelect(rng *sim.RNG, weights []float64, available []bool) int {
+	if len(weights) == 0 {
+		panic("core: RouletteSelect over empty weights")
+	}
+	if available != nil && len(available) != len(weights) {
+		panic(fmt.Sprintf("core: RouletteSelect with %d weights but %d availability flags", len(weights), len(available)))
+	}
+	eligible := func(i int) bool { return available == nil || available[i] }
+	eff := func(i int) float64 {
+		w := weights[i]
+		if !eligible(i) || w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0
+		}
+		return w
+	}
+
+	var total float64
+	for i := range weights {
+		total += eff(i)
+	}
+	if total > 0 {
+		x := rng.Float64() * total
+		last := -1
+		for i := range weights {
+			w := eff(i)
+			if w <= 0 {
+				continue
+			}
+			last = i
+			x -= w
+			if x < 0 {
+				return i
+			}
+		}
+		// Float drift can leave x at ~0 after the walk. sim.RNG.Roulette
+		// returns the final index here; with availability in play the
+		// final index may be crashed, so the last eligible positive-weight
+		// index absorbs the drift instead.
+		if available == nil {
+			return len(weights) - 1
+		}
+		return last
+	}
+
+	// Degenerate case: uniform over the eligible indices.
+	if available == nil {
+		return rng.Intn(len(weights))
+	}
+	n := 0
+	for i := range available {
+		if available[i] {
+			n++
+		}
+	}
+	if n == 0 {
+		panic("core: RouletteSelect with no available index")
+	}
+	k := rng.Intn(n)
+	for i := range available {
+		if !available[i] {
+			continue
+		}
+		if k == 0 {
+			return i
+		}
+		k--
+	}
+	panic("unreachable")
+}
+
+// SelectionProbabilities returns the distribution RouletteSelect draws
+// from: p[i] = eff(i)/Σeff with the same zeroing of non-positive,
+// non-finite and unavailable weights, falling back to uniform over the
+// eligible indices when every effective weight is zero. The result always
+// sums to 1 (within float tolerance) and contains no NaN or Inf; it is nil
+// when no index is eligible.
+func SelectionProbabilities(weights []float64, available []bool) []float64 {
+	if len(weights) == 0 {
+		return nil
+	}
+	if available != nil && len(available) != len(weights) {
+		return nil
+	}
+	p := make([]float64, len(weights))
+	var total float64
+	eligibleCount := 0
+	for i, w := range weights {
+		if available != nil && !available[i] {
+			continue
+		}
+		eligibleCount++
+		if w > 0 && !math.IsInf(w, 0) && !math.IsNaN(w) {
+			p[i] = w
+			total += w
+		}
+	}
+	if eligibleCount == 0 {
+		return nil
+	}
+	if total <= 0 {
+		u := 1 / float64(eligibleCount)
+		for i := range p {
+			if available == nil || available[i] {
+				p[i] = u
+			}
+		}
+		return p
+	}
+	if math.IsInf(total, 1) {
+		// Σw overflows: the roulette walk's cursor is +Inf (or NaN) and
+		// never goes negative, so every draw falls through to the last
+		// index (nil mask) or the last eligible positive-weight index.
+		last := len(p) - 1
+		if available != nil {
+			for i := range p {
+				if p[i] > 0 {
+					last = i
+				}
+			}
+		}
+		for i := range p {
+			p[i] = 0
+		}
+		p[last] = 1
+		return p
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return p
 }
 
 // normalizeMean rescales row to mean 1, then re-clamps.

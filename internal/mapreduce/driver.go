@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eant/internal/cluster"
+	"eant/internal/fault"
 	"eant/internal/hdfs"
 	"eant/internal/noise"
 	"eant/internal/power"
@@ -49,6 +50,10 @@ type Config struct {
 	// Power enables server consolidation (the paper's §VIII future
 	// work): idle machines outside the covering subset power down.
 	Power PowerMgmt
+	// Fault configures machine-crash and task-failure injection. The zero
+	// value is a strict no-op: nothing is scheduled and no random draws
+	// are made, so disabled runs are byte-identical to pre-fault builds.
+	Fault fault.Config
 }
 
 // PowerMgmt configures server consolidation, modeled after the covering-
@@ -120,6 +125,9 @@ func (c *Config) setDefaults() {
 	if c.Power.Enabled {
 		c.Power.setDefaults()
 	}
+	if c.Fault.Enabled() {
+		c.Fault.SetDefaults()
+	}
 }
 
 // Validate reports the first problem with the configuration.
@@ -129,6 +137,9 @@ func (c Config) Validate() error {
 	}
 	if c.ForcedLocalFraction > 1 {
 		return fmt.Errorf("mapreduce: forced local fraction %v > 1", c.ForcedLocalFraction)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	return c.Noise.Validate()
 }
@@ -164,6 +175,13 @@ type Driver struct {
 	// last ran a task (consolidation policy state).
 	covering []bool
 	lastBusy []time.Duration
+
+	// faults injects machine crashes and attempt failures; blacklistUntil
+	// and failCount implement the JobTracker's per-machine failure
+	// blacklist (allocated only when fault injection is enabled).
+	faults         *fault.Injector
+	blacklistUntil []time.Duration
+	failCount      []int
 }
 
 // NewDriver wires a driver for one run. The scheduler must not be shared
@@ -182,6 +200,10 @@ func NewDriver(c *cluster.Cluster, sched Scheduler, cfg Config) (*Driver, error)
 	if err != nil {
 		return nil, err
 	}
+	inj, err := fault.NewInjector(cfg.Fault, root.Fork("fault"))
+	if err != nil {
+		return nil, err
+	}
 	d := &Driver{
 		cfg:              cfg,
 		engine:           engine,
@@ -196,6 +218,11 @@ func NewDriver(c *cluster.Cluster, sched Scheduler, cfg Config) (*Driver, error)
 		totalReduceSlots: c.TotalReduceSlots(),
 		stats:            newStats(sched.Name()),
 		intervalAssign:   make(map[int]map[int]int),
+		faults:           inj,
+	}
+	if inj.Enabled() {
+		d.blacklistUntil = make([]time.Duration, c.Size())
+		d.failCount = make([]int, c.Size())
 	}
 	for _, typeName := range cfg.ComputeOnlyTypes {
 		for _, m := range c.ByType(typeName) {
@@ -277,6 +304,13 @@ func (d *Driver) Run(specs []workload.JobSpec, horizon time.Duration) (*Stats, e
 		return true
 	})
 
+	// Fault process: stochastic machine crashes/recoveries plus any
+	// scripted scenario. Start is a strict no-op when faults are disabled.
+	d.faults.Start(d.engine, d.cluster.Size(), fault.Hooks{
+		Crash:   d.crashMachine,
+		Recover: d.recoverMachine,
+	})
+
 	// completeJob stops the engine at the instant the campaign finishes,
 	// so the makespan (and the energy-integration window) ends at the
 	// last task rather than at a dangling ticker event.
@@ -308,7 +342,13 @@ func (d *Driver) serveHeartbeats() {
 	d.tickOffset = (d.tickOffset + 1) % n
 	for i := 0; i < n; i++ {
 		m := machines[(i+d.tickOffset)%n]
+		if !m.Available() {
+			continue
+		}
 		d.maybeSleep(m)
+		if d.blacklisted(m.ID) {
+			continue
+		}
 		for m.FreeMapSlots() > 0 {
 			t := d.sched.AssignMap(d.ctx, m)
 			if t == nil {
@@ -449,6 +489,11 @@ func (d *Driver) startMap(t *Task, m *cluster.Machine) {
 	if t.Local {
 		d.stats.LocalMaps++
 	}
+	if d.faults.AttemptFails() {
+		t.doomed = true
+		t.pendingEvent = d.engine.ScheduleAfter(secsToDur(dur*d.faults.FailurePoint()), func() { d.failAttempt(t) })
+		return
+	}
 	t.pendingEvent = d.engine.ScheduleAfter(secsToDur(dur), func() { d.completeTask(t) })
 }
 
@@ -482,6 +527,10 @@ func (d *Driver) startReduce(t *Task, m *cluster.Machine) {
 	t.Machine = m
 	t.Start = now
 	d.noteStart(t, m)
+	// Reduce failures strike the compute phase (shuffle errors just retry
+	// fetches in Hadoop); the doom draw happens at assignment so the fault
+	// stream is consumed in scheduling order.
+	t.doomed = d.faults.AttemptFails()
 
 	if t.Job.MapsDone() {
 		d.finalizeReduce(t)
@@ -514,6 +563,10 @@ func (d *Driver) beginReduceCompute(t *Task) {
 	t.computeStart = now
 	if end := now; end > t.Job.LastShuffleEnd {
 		t.Job.LastShuffleEnd = end
+	}
+	if t.doomed {
+		t.pendingEvent = d.engine.ScheduleAfter(secsToDur(t.computeSecs*d.faults.FailurePoint()), func() { d.failAttempt(t) })
+		return
 	}
 	t.pendingEvent = d.engine.ScheduleAfter(secsToDur(t.computeSecs), func() { d.completeTask(t) })
 }
@@ -555,6 +608,12 @@ func (d *Driver) completeTask(t *Task) {
 		orig.clone = nil
 		t.original = nil
 		d.stats.SpeculativeWon++
+		// Mirror the clone's completion onto the canonical attempt: barrier
+		// and lost-map-output scans walk j.Maps, so the canonical must
+		// record where the winning output actually lives.
+		orig.State = TaskDone
+		orig.Machine = t.Machine
+		orig.Start, orig.Finish = t.Start, t.Finish
 	}
 	switch t.Kind {
 	case MapTask:
@@ -591,23 +650,34 @@ func (d *Driver) killTask(t *Task) {
 		return
 	}
 	t.pendingEvent.Cancel()
-	if t.State == TaskRunning || t.State == TaskShuffling {
-		m := t.Machine
-		d.meter.Sync(m, d.engine.Now())
-		util := t.currentUtil(t.State)
-		if t.Kind == MapTask {
-			m.ReleaseMap(util)
-		} else {
-			m.ReleaseReduce(util)
-		}
-		j := t.Job
-		j.running--
-		j.runningByMachine[m.ID]--
-		delete(j.runningSet, t)
-	}
+	d.detachRunning(t)
 	t.State = TaskKilled
 	t.Finish = d.engine.Now()
 	d.stats.SpeculativeKilled++
+}
+
+// detachRunning removes an in-flight attempt from its machine and job
+// bookkeeping: its next event is cancelled, the power meter is synced, and
+// the slot plus the phase's CPU share are released. Reports whether the
+// attempt was actually in flight.
+func (d *Driver) detachRunning(t *Task) bool {
+	if t.State != TaskRunning && t.State != TaskShuffling {
+		return false
+	}
+	t.pendingEvent.Cancel()
+	m := t.Machine
+	d.meter.Sync(m, d.engine.Now())
+	util := t.currentUtil(t.State)
+	if t.Kind == MapTask {
+		m.ReleaseMap(util)
+	} else {
+		m.ReleaseReduce(util)
+	}
+	j := t.Job
+	j.running--
+	j.runningByMachine[m.ID]--
+	delete(j.runningSet, t)
+	return true
 }
 
 func (d *Driver) completeJob(j *Job) {

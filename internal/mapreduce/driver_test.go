@@ -2,10 +2,13 @@ package mapreduce_test
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
 	"eant/internal/cluster"
+	"eant/internal/core"
+	"eant/internal/fault"
 	"eant/internal/mapreduce"
 	"eant/internal/noise"
 	"eant/internal/sched"
@@ -170,6 +173,75 @@ func TestDeterministicUnderSeed(t *testing.T) {
 		if a.Jobs[i].Finished != b.Jobs[i].Finished {
 			t.Errorf("job %d finish differs", i)
 		}
+	}
+}
+
+// faultyConfig is the shared fault-injection setup of the determinism
+// tests: stochastic crashes, quick repairs, and a tangible per-attempt
+// failure probability, on top of the default noise model.
+func faultyConfig(seed int64) mapreduce.Config {
+	cfg := mapreduce.DefaultConfig()
+	cfg.Noise = noise.Default()
+	cfg.Seed = seed
+	cfg.KeepTaskRecords = true
+	cfg.KeepAssignmentHistory = true
+	cfg.ControlInterval = time.Minute
+	cfg.Fault = fault.Config{
+		MachineMTBF:  4 * time.Minute,
+		MachineMTTR:  time.Minute,
+		TaskFailProb: 0.05,
+		MaxAttempts:  8,
+	}
+	return cfg
+}
+
+// TestGoldenDeterminismWithFaults is the golden determinism harness: two
+// runs with the same seed and fault injection ON must agree on every
+// collected statistic — job timelines, task records, interval assignment
+// distributions, per-machine joules, and the fault tallies themselves.
+// reflect.DeepEqual over the whole Stats struct is deliberately brutal:
+// any unsorted map iteration on the crash/recovery paths shows up here.
+func TestGoldenDeterminismWithFaults(t *testing.T) {
+	jobs := workload.Batch(workload.Terasort, 6, 1280, 2, 20*time.Second)
+
+	a := run(t, smallCluster(), sched.NewFair(), faultyConfig(7), jobs)
+	b := run(t, smallCluster(), sched.NewFair(), faultyConfig(7), jobs)
+
+	if a.Crashes == 0 || a.TaskFailures == 0 {
+		t.Fatalf("fault injection inert: %d crashes, %d task failures — the test is not exercising recovery",
+			a.Crashes, a.TaskFailures)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("stats differ across identical faulty runs:\n a: joules=%v horizon=%v crashes=%d fails=%d lost=%d\n b: joules=%v horizon=%v crashes=%d fails=%d lost=%d",
+			a.TotalJoules, a.Horizon, a.Crashes, a.TaskFailures, a.MapOutputsLost,
+			b.TotalJoules, b.Horizon, b.Crashes, b.TaskFailures, b.MapOutputsLost)
+	}
+}
+
+// TestGoldenDeterminismAcrossSchedulers repeats the golden harness for
+// every scheduler family — the recovery paths thread through scheduler
+// callbacks (OnTaskComplete, OnControlTick), so each policy gets its own
+// bit-identity check.
+func TestGoldenDeterminismAcrossSchedulers(t *testing.T) {
+	jobs := workload.Batch(workload.Grep, 5, 1280, 2, 30*time.Second)
+	makers := map[string]func() mapreduce.Scheduler{
+		"FIFO": func() mapreduce.Scheduler { return sched.NewFIFO() },
+		"Fair": func() mapreduce.Scheduler { return sched.NewFair() },
+		"LATE": func() mapreduce.Scheduler { return sched.NewLATE() },
+		"E-Ant": func() mapreduce.Scheduler {
+			return core.MustNewEAnt(core.DefaultParams())
+		},
+	}
+	for name, mk := range makers {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			a := run(t, smallCluster(), mk(), faultyConfig(11), jobs)
+			b := run(t, smallCluster(), mk(), faultyConfig(11), jobs)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s: stats differ across identical faulty runs (joules %v vs %v, horizon %v vs %v)",
+					name, a.TotalJoules, b.TotalJoules, a.Horizon, b.Horizon)
+			}
+		})
 	}
 }
 

@@ -22,7 +22,9 @@ type TaskRecord struct {
 	Local       bool
 }
 
-// JobResult captures one finished job's phase timeline.
+// JobResult captures one finished job's phase timeline. Failed marks a
+// job terminated because a task exhausted its retry budget (fault
+// injection); its timeline fields stop at the failure instant.
 type JobResult struct {
 	Spec           workload.JobSpec
 	Submitted      time.Duration
@@ -30,6 +32,7 @@ type JobResult struct {
 	MapsDoneAt     time.Duration
 	LastShuffleEnd time.Duration
 	Finished       time.Duration
+	Failed         bool
 }
 
 // CompletionTime returns submission-to-finish latency.
@@ -121,6 +124,22 @@ type Stats struct {
 	// Consolidation bookkeeping: power-down and wake transitions.
 	Sleeps int
 	Wakes  int
+
+	// Fault-injection bookkeeping. Crashes/Recoveries count machine
+	// transitions; TaskFailures counts attempt failures (JVM death
+	// mid-task); TasksKilledByCrash counts in-flight attempts lost to a
+	// machine crash; MapOutputsLost counts completed maps re-executed
+	// because their output machine died before the job's reduces fetched
+	// it (Hadoop 1.x semantics); Blacklists counts machines benched after
+	// repeated failures; JobsFailed counts jobs that exhausted a task's
+	// retry budget.
+	Crashes            int
+	Recoveries         int
+	TaskFailures       int
+	TasksKilledByCrash int
+	MapOutputsLost     int
+	Blacklists         int
+	JobsFailed         int
 
 	// Timeline holds per-control-tick energy snapshots (Fig. 10).
 	Timeline []EnergyPoint

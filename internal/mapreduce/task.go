@@ -99,6 +99,12 @@ type Task struct {
 	original     *Task
 	clone        *Task
 	pendingEvent simEventHandle
+
+	// failures counts this logical task's failed attempts (fault
+	// injection); kept on the canonical task, never on clones. doomed
+	// marks an attempt the fault model has decided will fail mid-flight.
+	failures int
+	doomed   bool
 }
 
 // ComputeStart returns when the attempt's compute phase began.
@@ -109,6 +115,31 @@ func (t *Task) Speculative() bool { return t.original != nil }
 
 // HasClone reports whether a speculative copy of this task is in flight.
 func (t *Task) HasClone() bool { return t.clone != nil }
+
+// Failures returns how many attempts of this logical task have failed.
+func (t *Task) Failures() int { return t.failures }
+
+// resetForRetry returns a finished, killed or crashed task to the pending
+// state so it can be assigned again. Race links must be dissolved first.
+func (t *Task) resetForRetry() {
+	if t.clone != nil || t.original != nil {
+		panic(fmt.Sprintf("mapreduce: retry of %s with live race link", t.ID()))
+	}
+	t.State = TaskPending
+	t.Machine = nil
+	t.Local = false
+	t.Start = 0
+	t.Finish = 0
+	t.computeStart = 0
+	t.shuffleSecs = 0
+	t.computeSecs = 0
+	t.trueUtil = 0
+	t.shuffleUtil = 0
+	t.EstJoules = 0
+	t.TrueJoules = 0
+	t.doomed = false
+	t.pendingEvent = simEventHandle{}
+}
 
 // ID returns a stable task identifier: "job3/map/17".
 func (t *Task) ID() string {
@@ -149,6 +180,7 @@ type Job struct {
 	reducesDone int
 	started     bool
 	done        bool
+	failed      bool
 
 	// pendingMaps is a FIFO of map indices not yet assigned; head advances
 	// past assigned entries lazily.
@@ -161,6 +193,10 @@ type Job struct {
 	// pendingReduces is a FIFO of reduce indices not yet assigned.
 	pendingReduces []int
 	reduceHead     int
+	// mapReplicas retains each map's block replica locations so retried
+	// tasks re-enter the locality index (the data survives a TaskTracker
+	// crash on the other replicas).
+	mapReplicas [][]int
 
 	// runningByMachine counts this job's running tasks per machine,
 	// maintained for slot-fairness heuristics.
@@ -182,6 +218,7 @@ func newJob(spec workload.JobSpec, replicasOf func(block int) []int) *Job {
 	}
 	j.Maps = make([]*Task, spec.NumMaps)
 	j.pendingMaps = make([]int, spec.NumMaps)
+	j.mapReplicas = make([][]int, spec.NumMaps)
 	for i := 0; i < spec.NumMaps; i++ {
 		j.Maps[i] = &Task{
 			Job:     j,
@@ -191,7 +228,8 @@ func newJob(spec workload.JobSpec, replicasOf func(block int) []int) *Job {
 			State:   TaskPending,
 		}
 		j.pendingMaps[i] = i
-		for _, machineID := range replicasOf(i) {
+		j.mapReplicas[i] = replicasOf(i)
+		for _, machineID := range j.mapReplicas[i] {
 			j.localPending[machineID] = append(j.localPending[machineID], i)
 		}
 	}
@@ -212,6 +250,10 @@ func newJob(spec workload.JobSpec, replicasOf func(block int) []int) *Job {
 
 // Done reports whether every task has completed.
 func (j *Job) Done() bool { return j.done }
+
+// Failed reports whether the job was failed (a task exhausted its retry
+// budget under fault injection).
+func (j *Job) Failed() bool { return j.failed }
 
 // MapsDone reports whether the map phase is complete (shuffle barrier
 // lifted).
@@ -305,6 +347,24 @@ func (j *Job) RunningAttempts(kind TaskKind) []*Task {
 		return !out[a].Speculative() && out[b].Speculative()
 	})
 	return out
+}
+
+// requeueRetry returns a reset task to the pending pools after an attempt
+// failure, machine crash, or lost map output. Unlike requeue (which undoes
+// a same-heartbeat pop), retried maps also re-enter the locality index:
+// their input block still has replicas on the surviving machines.
+func (j *Job) requeueRetry(t *Task) {
+	if t.State != TaskPending {
+		panic(fmt.Sprintf("mapreduce: retry requeue of %s in state %d", t.ID(), t.State))
+	}
+	if t.Kind == MapTask {
+		j.pendingMaps = append(j.pendingMaps, t.Index)
+		for _, machineID := range j.mapReplicas[t.Index] {
+			j.localPending[machineID] = append(j.localPending[machineID], t.Index)
+		}
+	} else {
+		j.pendingReduces = append(j.pendingReduces, t.Index)
+	}
 }
 
 // requeue returns a popped task to its pending pool (a scheduler chose a

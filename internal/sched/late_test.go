@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"eant/internal/cluster"
+	"eant/internal/fault"
 	"eant/internal/mapreduce"
 	"eant/internal/noise"
 	"eant/internal/sched"
@@ -136,6 +137,43 @@ func TestSpeculationCloneRules(t *testing.T) {
 	if stats.SpeculativeKilled > stats.SpeculativeStarted {
 		t.Errorf("killed %d > started %d", stats.SpeculativeKilled, stats.SpeculativeStarted)
 	}
+}
+
+func TestLATESurvivesStragglersAndFaults(t *testing.T) {
+	// LATE's straggler chasing must compose with fault recovery: heavy
+	// straggler noise drives speculation while machine churn and attempt
+	// failures kill race members mid-flight. Every job still completes,
+	// with each logical task recorded exactly once plus any map outputs
+	// re-executed after crashes.
+	cfg := stragglerConfig(2)
+	cfg.KeepTaskRecords = true
+	cfg.Fault = fault.Config{
+		MachineMTBF:  8 * time.Minute,
+		MachineMTTR:  time.Minute,
+		TaskFailProb: 0.05,
+		MaxAttempts:  100,
+	}
+	stats := runLate(t, sched.NewLATE(), cfg)
+	if stats.SpeculativeStarted == 0 || stats.Crashes == 0 || stats.TaskFailures == 0 {
+		t.Fatalf("test inert: clones=%d crashes=%d failures=%d",
+			stats.SpeculativeStarted, stats.Crashes, stats.TaskFailures)
+	}
+	if len(stats.Jobs) != 4 {
+		t.Fatalf("finished %d/4 jobs under faults", len(stats.Jobs))
+	}
+	for _, j := range stats.Jobs {
+		if j.Failed {
+			t.Errorf("job %d failed with a generous retry budget", j.Spec.ID)
+		}
+	}
+	want := 4*(50+4) + stats.MapOutputsLost
+	if got := len(stats.Tasks); got != want {
+		t.Errorf("task records = %d, want %d (incl. %d re-executed maps)",
+			got, want, stats.MapOutputsLost)
+	}
+	t.Logf("faults under LATE: crashes=%d failures=%d killedByCrash=%d outputsLost=%d clones=%d",
+		stats.Crashes, stats.TaskFailures, stats.TasksKilledByCrash,
+		stats.MapOutputsLost, stats.SpeculativeStarted)
 }
 
 // cloneEverything is a pathological scheduler that speculates any running
