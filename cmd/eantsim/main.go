@@ -12,9 +12,12 @@
 //
 // Flags:
 //
-//	-csv       emit CSV instead of aligned tables
-//	-jobs N    job count for the 'compare' experiment (default 40)
-//	-seed S    seed for the 'compare' experiment (default 1)
+//	-csv        emit CSV instead of aligned tables
+//	-jobs N     job count for the 'compare' experiment (default 40)
+//	-seed S     seed for the 'compare' experiment (default 1)
+//	-parallel N worker cap for experiment sweeps (default GOMAXPROCS;
+//	            1 forces fully sequential execution — results are
+//	            identical either way)
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"eant/internal/experiments"
 	"eant/internal/mapreduce"
 	"eant/internal/noise"
+	"eant/internal/parallel"
 	"eant/internal/sim"
 	"eant/internal/tabwrite"
 	"eant/internal/trace"
@@ -48,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "seed for 'compare' and 'trace'")
 	schedName := fs.String("sched", "E-Ant", "scheduler for 'trace' (FIFO|Fair|Tarazu|LATE|E-Ant)")
 	format := fs.String("format", "jsonl", "output for 'trace': jsonl, csv or summary")
+	workers := fs.Int("parallel", 0, "worker cap for experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: eantsim <experiment> [flags]")
 		fmt.Fprintln(stderr, "experiments:", allNames())
@@ -61,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
+	parallel.SetDefaultWorkers(*workers)
 
 	emit := func(t *tabwrite.Table) error {
 		if *csv {

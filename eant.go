@@ -39,6 +39,7 @@ import (
 	"eant/internal/fault"
 	"eant/internal/mapreduce"
 	"eant/internal/noise"
+	"eant/internal/parallel"
 	"eant/internal/sched"
 	"eant/internal/sim"
 	"eant/internal/workload"
@@ -306,22 +307,51 @@ func Run(spec RunSpec) (*Result, error) {
 	}, nil
 }
 
-// Compare runs the same jobs under several schedulers and returns the
-// results keyed by scheduler, plus E-Ant's saving in percent over each
-// baseline (positive = E-Ant used less energy).
+// RunMany executes independent campaigns concurrently on a bounded worker
+// pool and returns their results in spec order. workers <= 0 uses the
+// process default (GOMAXPROCS, or the eantsim -parallel setting);
+// workers == 1 runs sequentially. Each result is bit-identical to what a
+// sequential Run of the same spec produces: every run owns its engine,
+// RNG streams and scheduler, and result ordering never depends on
+// completion timing. When several specs name the same *Cluster it is
+// cloned per run, so concurrent runs never share machine state. On error,
+// RunMany reports the error of the lowest-index failing spec.
+func RunMany(specs []RunSpec, workers int) ([]*Result, error) {
+	// Count *Cluster sharing up front; a cluster used by exactly one spec
+	// is passed through untouched (same observable behavior as Run).
+	uses := make(map[*Cluster]int, len(specs))
+	for _, s := range specs {
+		uses[s.Cluster]++
+	}
+	return parallel.Map(len(specs), workers, func(i int) (*Result, error) {
+		spec := specs[i]
+		if spec.Cluster != nil && uses[spec.Cluster] > 1 {
+			spec.Cluster = spec.Cluster.Clone()
+		}
+		return Run(spec)
+	})
+}
+
+// Compare runs the same jobs under several schedulers (concurrently, on
+// the RunMany worker pool) and returns the results keyed by scheduler,
+// plus E-Ant's saving in percent over each baseline (positive = E-Ant
+// used less energy).
 func Compare(spec RunSpec, schedulers ...Scheduler) (map[Scheduler]*Result, map[Scheduler]float64, error) {
 	if len(schedulers) == 0 {
 		schedulers = Schedulers()
 	}
+	specs := make([]RunSpec, len(schedulers))
+	for i, s := range schedulers {
+		specs[i] = spec
+		specs[i].Scheduler = s
+	}
+	runs, err := RunMany(specs, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eant: %w", err)
+	}
 	results := make(map[Scheduler]*Result, len(schedulers))
-	for _, s := range schedulers {
-		run := spec
-		run.Scheduler = s
-		r, err := Run(run)
-		if err != nil {
-			return nil, nil, fmt.Errorf("eant: %s: %w", s, err)
-		}
-		results[s] = r
+	for i, s := range schedulers {
+		results[s] = runs[i]
 	}
 	savings := make(map[Scheduler]float64)
 	if eantRes, ok := results[SchedulerEAnt]; ok {

@@ -286,6 +286,20 @@ type Group struct {
 	Count int
 }
 
+// Clone returns an independent cluster with the same machine IDs and
+// specs and zeroed transient state (running tasks, sleep, crash flags).
+// A Cluster must not be shared by concurrent simulation runs — clone it
+// per run instead. TypeSpec pointers are shared: specs are immutable.
+func (c *Cluster) Clone() *Cluster {
+	out := &Cluster{byType: make(map[string][]*Machine, len(c.byType))}
+	for _, m := range c.machines {
+		nm := NewMachine(m.ID, m.Spec)
+		out.machines = append(out.machines, nm)
+		out.byType[m.Spec.Name] = append(out.byType[m.Spec.Name], nm)
+	}
+	return out
+}
+
 // Machines returns the fleet in ID order. The slice is shared; callers must
 // not mutate it.
 func (c *Cluster) Machines() []*Machine { return c.machines }

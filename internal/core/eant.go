@@ -34,6 +34,14 @@ type EAnt struct {
 	// trail row, for convergence studies (Fig. 11).
 	trackTrails bool
 	trails      map[ColonyKey][]TrailSnapshot
+
+	// Heartbeat-path scratch, reused across slot offers so steady-state
+	// assignment allocates nothing. Safe because a scheduler instance is
+	// owned by exactly one single-threaded driver (see DESIGN.md's
+	// concurrency model).
+	scratchJobs    []*mapreduce.Job
+	scratchWeights []float64
+	unavailable    []bool
 }
 
 // TrailSnapshot is one colony's pheromone row at a control tick.
@@ -161,10 +169,11 @@ func (e *EAnt) pickColony(ctx *mapreduce.Context, m *cluster.Machine, candidates
 	if len(candidates) == 0 {
 		return nil
 	}
-	weights := make([]float64, len(candidates))
-	for i, j := range candidates {
-		weights[i] = e.weight(ctx, j, key(j, kind), m)
+	weights := e.scratchWeights[:0]
+	for _, j := range candidates {
+		weights = append(weights, e.weight(ctx, j, key(j, kind), m))
 	}
+	e.scratchWeights = weights
 	if e.p.Greedy {
 		best := 0
 		for i := 1; i < len(weights); i++ {
@@ -269,9 +278,12 @@ func (e *EAnt) awakeCapacity(ctx *mapreduce.Context, kind mapreduce.TaskKind, m 
 // right kind across machines whose trail for the colony is meaningfully
 // stronger than m's.
 func (e *EAnt) betterHostCapacity(ctx *mapreduce.Context, k ColonyKey, m *cluster.Machine) (slots, free int) {
-	threshold := e.mx.Tau(k, m.ID) * betterHostFactor
+	// One key lookup for the whole scan: the colony's row is indexed by
+	// machine ID, so the per-machine probe is a slice load, not a map hash.
+	row := e.mx.row(k)
+	threshold := row[m.ID] * betterHostFactor
 	for _, other := range ctx.Cluster.Machines() {
-		if other.ID == m.ID || !other.Available() || e.mx.Tau(k, other.ID) < threshold {
+		if other.ID == m.ID || !other.Available() || row[other.ID] < threshold {
 			continue
 		}
 		if k.Kind == mapreduce.ReduceTask {
@@ -323,12 +335,13 @@ func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidat
 func (e *EAnt) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
 	e.init(ctx)
 
-	var pending []*mapreduce.Job
+	pending := e.scratchJobs[:0]
 	for _, j := range ctx.ActiveJobs() {
 		if j.PendingMaps() > 0 {
 			pending = append(pending, j)
 		}
 	}
+	e.scratchJobs = pending
 	j := e.selectColony(ctx, m, pending, mapreduce.MapTask)
 	if j == nil {
 		return nil
@@ -343,12 +356,13 @@ const slowReduceFactor = 2.0
 // AssignReduce implements mapreduce.Scheduler.
 func (e *EAnt) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
 	e.init(ctx)
-	var ready []*mapreduce.Job
+	ready := e.scratchJobs[:0]
 	for _, j := range ctx.ActiveJobs() {
 		if ctx.ReduceReady(j) {
 			ready = append(ready, j)
 		}
 	}
+	e.scratchJobs = ready
 	j := e.selectColony(ctx, m, ready, mapreduce.ReduceTask)
 	if j == nil {
 		return nil
@@ -406,25 +420,29 @@ func (e *EAnt) OnControlTick(ctx *mapreduce.Context) {
 	for _, j := range ctx.ActiveJobs() {
 		active[j.Spec.ID] = true
 	}
-	for k := range e.mx.tau {
-		if !active[k.JobID] {
-			e.mx.Retire(k.JobID)
-		}
-	}
+	e.mx.RetireInactive(func(jobID int) bool { return active[jobID] })
 	// Crashed machines' trails are frozen out of the exchange and left to
 	// evaporate (nil when the fleet is healthy, preserving Update exactly).
-	var unavailable []bool
+	if e.unavailable == nil {
+		e.unavailable = make([]bool, ctx.Cluster.Size())
+	}
+	anyDown := false
+	for i := range e.unavailable {
+		e.unavailable[i] = false
+	}
 	for _, m := range ctx.Cluster.Machines() {
 		if !m.Available() {
-			if unavailable == nil {
-				unavailable = make([]bool, ctx.Cluster.Size())
-			}
-			unavailable[m.ID] = true
+			e.unavailable[m.ID] = true
+			anyDown = true
 		}
+	}
+	var unavailable []bool
+	if anyDown {
+		unavailable = e.unavailable
 	}
 	e.mx.UpdateWithAvailability(e.typeGroups, unavailable)
 	if e.trackTrails {
-		for k := range e.mx.tau {
+		for _, k := range e.mx.Keys() {
 			e.trails[k] = append(e.trails[k], TrailSnapshot{
 				At:  ctx.Now(),
 				Row: e.mx.Row(k),

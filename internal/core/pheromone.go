@@ -26,14 +26,38 @@ type reward struct {
 	joules    float64
 }
 
+// colony is one ant colony's live state: its pheromone row, the rewards
+// accumulated since the last Update, and per-Update scratch buffers
+// (reused across intervals so the control tick allocates nothing in
+// steady state).
+type colony struct {
+	key     ColonyKey
+	row     []float64
+	pending []reward
+
+	// delta/count are Update scratch: per-machine deposit and feedback
+	// count for the current interval. Valid only while hasDelta is set.
+	delta    []float64
+	count    []int
+	hasDelta bool
+}
+
 // Matrix holds pheromone trails per colony over the machine set and folds
 // in per-interval energy feedback according to Eqs. 4–6 and the §IV-D
 // exchange strategies.
+//
+// Colonies live in a flat, insertion-ordered table with a key index on
+// the side. The scheduler's inner loops (one Tau lookup per candidate per
+// slot offer, one per machine in the decline guard) hit the flat rows
+// instead of hashing a struct key per probe, and every cross-colony fold
+// in Update iterates the table in insertion order — float accumulation
+// order is fixed, so runs are bit-for-bit reproducible instead of
+// depending on Go's randomized map iteration.
 type Matrix struct {
 	p        Params
 	machines int
-	tau      map[ColonyKey][]float64
-	pending  map[ColonyKey][]reward
+	index    map[ColonyKey]int
+	cols     []*colony
 }
 
 // NewMatrix returns an empty pheromone matrix over the given machine count.
@@ -47,21 +71,29 @@ func NewMatrix(machines int, p Params) (*Matrix, error) {
 	return &Matrix{
 		p:        p,
 		machines: machines,
-		tau:      make(map[ColonyKey][]float64),
-		pending:  make(map[ColonyKey][]reward),
+		index:    make(map[ColonyKey]int),
 	}, nil
 }
 
 // Colonies returns the number of tracked colonies.
-func (mx *Matrix) Colonies() int { return len(mx.tau) }
+func (mx *Matrix) Colonies() int { return len(mx.cols) }
 
-// row returns the colony's pheromone vector, creating it on first touch.
-// A new colony warm-starts from an existing same-(app, kind) colony when
+// Keys returns the tracked colony keys in insertion order.
+func (mx *Matrix) Keys() []ColonyKey {
+	out := make([]ColonyKey, len(mx.cols))
+	for i, c := range mx.cols {
+		out[i] = c.key
+	}
+	return out
+}
+
+// colonyFor returns the colony's state, creating it on first touch. A new
+// colony warm-starts from existing same-(app, kind) colonies when
 // job-level exchange is enabled — the sharing of experience that makes
 // small-job convergence fast (Fig. 11b).
-func (mx *Matrix) row(key ColonyKey) []float64 {
-	if row, ok := mx.tau[key]; ok {
-		return row
+func (mx *Matrix) colonyFor(key ColonyKey) *colony {
+	if i, ok := mx.index[key]; ok {
+		return mx.cols[i]
 	}
 	row := make([]float64, mx.machines)
 	donors := 0
@@ -69,9 +101,9 @@ func (mx *Matrix) row(key ColonyKey) []float64 {
 		// Average every same-group colony's trails (not just one picked
 		// arbitrarily): deterministic, and exactly the pooled experience
 		// the job-level exchange maintains.
-		for k, r := range mx.tau {
-			if k.App == key.App && k.Kind == key.Kind {
-				for i, v := range r {
+		for _, c := range mx.cols {
+			if c.key.App == key.App && c.key.Kind == key.Kind {
+				for i, v := range c.row {
 					row[i] += v
 				}
 				donors++
@@ -85,8 +117,16 @@ func (mx *Matrix) row(key ColonyKey) []float64 {
 			row[i] = mx.p.InitTau
 		}
 	}
-	mx.tau[key] = row
-	return row
+	c := &colony{key: key, row: row}
+	mx.index[key] = len(mx.cols)
+	mx.cols = append(mx.cols, c)
+	return c
+}
+
+// row returns the colony's live pheromone vector (shared, not a copy),
+// creating the colony on first touch.
+func (mx *Matrix) row(key ColonyKey) []float64 {
+	return mx.colonyFor(key).row
 }
 
 // Tau returns τ(colony, machine).
@@ -122,27 +162,45 @@ func (mx *Matrix) Feedback(key ColonyKey, machineID int, joules float64) {
 		// Zero-energy tasks would produce infinite rewards; floor them.
 		joules = 1e-9
 	}
-	mx.row(key) // materialize the colony
-	mx.pending[key] = append(mx.pending[key], reward{machineID: machineID, joules: joules})
+	c := mx.colonyFor(key)
+	c.pending = append(c.pending, reward{machineID: machineID, joules: joules})
 }
 
 // PendingFeedback returns the number of unapplied task rewards.
 func (mx *Matrix) PendingFeedback() int {
 	n := 0
-	for _, rs := range mx.pending {
-		n += len(rs)
+	for _, c := range mx.cols {
+		n += len(c.pending)
 	}
 	return n
 }
 
 // Retire drops colonies whose job has left the system.
 func (mx *Matrix) Retire(jobID int) {
-	for k := range mx.tau {
-		if k.JobID == jobID {
-			delete(mx.tau, k)
-			delete(mx.pending, k)
+	mx.retire(func(k ColonyKey) bool { return k.JobID == jobID })
+}
+
+// RetireInactive drops every colony whose job fails the liveness check,
+// in one pass over the table.
+func (mx *Matrix) RetireInactive(active func(jobID int) bool) {
+	mx.retire(func(k ColonyKey) bool { return !active(k.JobID) })
+}
+
+// retire compacts the colony table, dropping entries matching gone.
+func (mx *Matrix) retire(gone func(ColonyKey) bool) {
+	kept := mx.cols[:0]
+	for _, c := range mx.cols {
+		if gone(c.key) {
+			delete(mx.index, c.key)
+			continue
 		}
+		mx.index[c.key] = len(kept)
+		kept = append(kept, c)
 	}
+	for i := len(kept); i < len(mx.cols); i++ {
+		mx.cols[i] = nil
+	}
+	mx.cols = kept
 }
 
 // Update folds the interval's feedback into the trails:
@@ -176,42 +234,50 @@ func (mx *Matrix) UpdateWithAvailability(typeGroups [][]int, unavailable []bool)
 	down := func(id int) bool {
 		return unavailable != nil && id < len(unavailable) && unavailable[id]
 	}
-	delta := make(map[ColonyKey][]float64, len(mx.pending))
 
 	// Stage 1: raw per-path rewards. With SumDeposits the deposit is the
 	// literal Eq. 4/5 sum Σ_n avgE/E_n, which also encodes completion
 	// counts; the default averages the per-task experiences and sharpens
 	// the ratio with Gamma, so trails read as pure relative energy
 	// efficiency.
-	counts := make(map[ColonyKey][]int, len(mx.pending))
-	for key, rs := range mx.pending {
-		if len(rs) == 0 {
+	for _, c := range mx.cols {
+		if len(c.pending) == 0 {
+			c.hasDelta = false
 			continue
 		}
 		var sum float64
-		for _, r := range rs {
+		for _, r := range c.pending {
 			sum += r.joules
 		}
-		avg := sum / float64(len(rs))
-		d := make([]float64, mx.machines)
-		n := make([]int, mx.machines)
-		for _, r := range rs {
+		avg := sum / float64(len(c.pending))
+		if c.delta == nil {
+			c.delta = make([]float64, mx.machines)
+			c.count = make([]int, mx.machines)
+		} else {
+			for i := range c.delta {
+				c.delta[i] = 0
+				c.count[i] = 0
+			}
+		}
+		for _, r := range c.pending {
 			if down(r.machineID) {
 				continue
 			}
-			d[r.machineID] += avg / r.joules
-			n[r.machineID]++
+			c.delta[r.machineID] += avg / r.joules
+			c.count[r.machineID]++
 		}
-		delta[key] = d
-		counts[key] = n
+		c.hasDelta = true
 	}
 
 	// Stage 2: machine-level exchange — pool experiences across each
 	// homogeneous hardware group ("the average available experiences of
 	// the completed tasks that visited those homogeneous machines").
 	if mx.p.MachineExchange {
-		for key, d := range delta {
-			n := counts[key]
+		for _, c := range mx.cols {
+			if !c.hasDelta {
+				continue
+			}
+			d, n := c.delta, c.count
 			for _, group := range typeGroups {
 				var sum float64
 				tasks := 0
@@ -247,46 +313,63 @@ func (mx *Matrix) UpdateWithAvailability(typeGroups [][]int, unavailable []bool)
 	// Reduce sums to mean-experience deposits unless running the literal
 	// Eq. 4/5 sum form, and apply the sharpening exponent.
 	if !mx.p.SumDeposits {
-		for key, d := range delta {
-			n := counts[key]
-			for i := range d {
-				if n[i] > 0 {
-					d[i] = math.Pow(d[i]/float64(n[i]), mx.p.Gamma)
+		for _, c := range mx.cols {
+			if !c.hasDelta {
+				continue
+			}
+			for i := range c.delta {
+				if c.count[i] > 0 {
+					c.delta[i] = math.Pow(c.delta[i]/float64(c.count[i]), mx.p.Gamma)
 				}
 			}
 		}
 	}
 
-	// Stage 3: job-level exchange.
-	if mx.p.JobExchange && len(delta) > 1 {
-		type group struct {
+	// Stage 3: job-level exchange. Group sums accumulate in table
+	// (insertion) order, so the float folds are deterministic.
+	if mx.p.JobExchange {
+		type groupKey struct {
 			app  workload.App
 			kind mapreduce.TaskKind
 		}
-		sums := make(map[group][]float64)
-		counts := make(map[group]int)
-		for key, d := range delta {
-			g := group{app: key.App, kind: key.Kind}
-			if sums[g] == nil {
-				sums[g] = make([]float64, mx.machines)
+		withDelta := 0
+		for _, c := range mx.cols {
+			if c.hasDelta {
+				withDelta++
 			}
-			for i, v := range d {
-				sums[g][i] += v
-			}
-			counts[g]++
 		}
-		for key, d := range delta {
-			g := group{app: key.App, kind: key.Kind}
-			n := float64(counts[g])
-			for i := range d {
-				d[i] = sums[g][i] / n
+		if withDelta > 1 {
+			sums := make(map[groupKey][]float64)
+			counts := make(map[groupKey]int)
+			for _, c := range mx.cols {
+				if !c.hasDelta {
+					continue
+				}
+				g := groupKey{app: c.key.App, kind: c.key.Kind}
+				if sums[g] == nil {
+					sums[g] = make([]float64, mx.machines)
+				}
+				for i, v := range c.delta {
+					sums[g][i] += v
+				}
+				counts[g]++
+			}
+			for _, c := range mx.cols {
+				if !c.hasDelta {
+					continue
+				}
+				g := groupKey{app: c.key.App, kind: c.key.Kind}
+				n := float64(counts[g])
+				for i := range c.delta {
+					c.delta[i] = sums[g][i] / n
+				}
 			}
 		}
 	}
 
 	// Stage 4+5: per-colony evaporation, deposit, negative feedback.
-	for key, row := range mx.tau {
-		d := delta[key]
+	for _, c := range mx.cols {
+		row := c.row
 		for m := 0; m < mx.machines; m++ {
 			if down(m) {
 				// Crashed machine: pure evaporation toward the floor.
@@ -294,8 +377,8 @@ func (mx *Matrix) UpdateWithAvailability(typeGroups [][]int, unavailable []bool)
 				continue
 			}
 			dep := 0.0
-			if d != nil {
-				dep = d[m]
+			if c.hasDelta {
+				dep = c.delta[m]
 			}
 			if mx.p.NegativeFeedback && dep != 0 {
 				// Eq. 6: competitors' rewards on this machine push this
@@ -308,11 +391,11 @@ func (mx *Matrix) UpdateWithAvailability(typeGroups [][]int, unavailable []bool)
 				// idle paths are not dragged below the floor.
 				var competitor float64
 				n := 0
-				for otherKey, od := range delta {
-					if otherKey.Kind != key.Kind || otherKey.App == key.App {
+				for _, oc := range mx.cols {
+					if !oc.hasDelta || oc.key.Kind != c.key.Kind || oc.key.App == c.key.App {
 						continue
 					}
-					competitor += od[m]
+					competitor += oc.delta[m]
 					n++
 				}
 				if n > 0 {
@@ -325,7 +408,10 @@ func (mx *Matrix) UpdateWithAvailability(typeGroups [][]int, unavailable []bool)
 		normalizeMean(row, mx.p.MinTau, mx.p.MaxTau)
 	}
 
-	mx.pending = make(map[ColonyKey][]reward)
+	for _, c := range mx.cols {
+		c.pending = c.pending[:0]
+		c.hasDelta = false
+	}
 }
 
 // RouletteSelect draws index i with probability weights[i]/Σweights,

@@ -7,6 +7,7 @@ import (
 	"eant/internal/cluster"
 	"eant/internal/core"
 	"eant/internal/mapreduce"
+	"eant/internal/parallel"
 	"eant/internal/tabwrite"
 	"eant/internal/workload"
 )
@@ -38,32 +39,46 @@ type ConsolidationResult struct {
 func Consolidation() (*ConsolidationResult, error) {
 	const jobCount = 50
 	const seeds = 3
+	modes := []bool{false, true}
+	scheds := []SchedulerName{SchedFair, SchedEAnt}
 	res := &ConsolidationResult{}
-	for _, consolidated := range []bool{false, true} {
-		for _, name := range []SchedulerName{SchedFair, SchedEAnt} {
+	cells, err := parallel.Map(len(modes)*len(scheds)*seeds, 0, func(i int) (*mapreduce.Stats, error) {
+		consolidated := modes[i/(len(scheds)*seeds)]
+		name := scheds[(i/seeds)%len(scheds)]
+		seed := int64(i%seeds) + 1
+		jobs, err := workload.GenerateMSD(workload.MSDConfig{
+			Jobs: jobCount, Scale: ScaleDown,
+			// Light load: lulls between arrivals are where
+			// machines can sleep.
+			MeanInterarrival: 90 * time.Second,
+		}, newRNG(seed))
+		if err != nil {
+			return nil, fmt.Errorf("consolidation: %w", err)
+		}
+		cfg := defaultDriverConfig()
+		cfg.Seed = seed
+		if consolidated {
+			cfg.Power = mapreduce.PowerMgmt{Enabled: true}
+		}
+		stats, err := Campaign{
+			Cluster: cluster.Testbed(), Sched: name,
+			Params: core.DefaultParams(), Jobs: jobs, Config: cfg,
+		}.Run()
+		if err != nil {
+			return nil, fmt.Errorf("consolidation: %s: %w", name, err)
+		}
+		return stats, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, consolidated := range modes {
+		for _, name := range scheds {
 			agg := ConsolidationRow{Sched: name, Consolidated: consolidated}
-			for seed := int64(1); seed <= seeds; seed++ {
-				jobs, err := workload.GenerateMSD(workload.MSDConfig{
-					Jobs: jobCount, Scale: ScaleDown,
-					// Light load: lulls between arrivals are where
-					// machines can sleep.
-					MeanInterarrival: 90 * time.Second,
-				}, newRNG(seed))
-				if err != nil {
-					return nil, fmt.Errorf("consolidation: %w", err)
-				}
-				cfg := defaultDriverConfig()
-				cfg.Seed = seed
-				if consolidated {
-					cfg.Power = mapreduce.PowerMgmt{Enabled: true}
-				}
-				stats, err := Campaign{
-					Cluster: cluster.Testbed(), Sched: name,
-					Params: core.DefaultParams(), Jobs: jobs, Config: cfg,
-				}.Run()
-				if err != nil {
-					return nil, fmt.Errorf("consolidation: %s: %w", name, err)
-				}
+			for s := 0; s < seeds; s++ {
+				stats := cells[i]
+				i++
 				agg.TotalJoules += stats.TotalJoules / seeds
 				agg.Makespan += stats.Horizon / seeds
 				agg.Sleeps += stats.Sleeps

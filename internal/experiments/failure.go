@@ -8,6 +8,7 @@ import (
 	"eant/internal/core"
 	"eant/internal/fault"
 	"eant/internal/metrics"
+	"eant/internal/parallel"
 	"eant/internal/tabwrite"
 )
 
@@ -93,43 +94,49 @@ func FailureSweepRun(cfg FailureSweepConfig) (*FailureSweepResult, error) {
 		jobIDs[i] = jobs[i].ID
 	}
 	res := &FailureSweepResult{Cfg: cfg}
-	for _, schedName := range cfg.Schedulers {
-		for _, mtbf := range cfg.MTBFs {
-			dcfg := defaultDriverConfig()
-			dcfg.Seed = cfg.Seed
-			dcfg.KeepAssignmentHistory = true
-			if mtbf > 0 {
-				dcfg.Fault = fault.Config{
-					MachineMTBF:  mtbf,
-					MachineMTTR:  cfg.MTTR,
-					TaskFailProb: cfg.TaskFailProb,
-				}
+	// The jobs slice is shared read-only across cells: JobSpec is a pure
+	// value and Driver.Run copies each spec.
+	points, err := parallel.Map(len(cfg.Schedulers)*len(cfg.MTBFs), 0, func(i int) (FailurePoint, error) {
+		schedName := cfg.Schedulers[i/len(cfg.MTBFs)]
+		mtbf := cfg.MTBFs[i%len(cfg.MTBFs)]
+		dcfg := defaultDriverConfig()
+		dcfg.Seed = cfg.Seed
+		dcfg.KeepAssignmentHistory = true
+		if mtbf > 0 {
+			dcfg.Fault = fault.Config{
+				MachineMTBF:  mtbf,
+				MachineMTTR:  cfg.MTTR,
+				TaskFailProb: cfg.TaskFailProb,
 			}
-			stats, err := Campaign{
-				Cluster: cluster.Testbed(),
-				Sched:   schedName,
-				Params:  core.DefaultParams(),
-				Jobs:    jobs,
-				Config:  dcfg,
-			}.Run()
-			if err != nil {
-				return nil, fmt.Errorf("failure sweep: %s mtbf=%v: %w", schedName, mtbf, err)
-			}
-			p := FailurePoint{
-				Sched:              schedName,
-				MTBF:               mtbf,
-				TotalJoules:        stats.TotalJoules,
-				Makespan:           stats.Horizon,
-				Crashes:            stats.Crashes,
-				TaskFailures:       stats.TaskFailures,
-				TasksKilledByCrash: stats.TasksKilledByCrash,
-				MapOutputsLost:     stats.MapOutputsLost,
-				JobsFailed:         stats.JobsFailed,
-			}
-			p.Convergence, p.ConvergedJobs = metrics.MeanConvergenceTime(stats.Assignments, jobIDs, 0.8)
-			res.Points = append(res.Points, p)
 		}
+		stats, err := Campaign{
+			Cluster: cluster.Testbed(),
+			Sched:   schedName,
+			Params:  core.DefaultParams(),
+			Jobs:    jobs,
+			Config:  dcfg,
+		}.Run()
+		if err != nil {
+			return FailurePoint{}, fmt.Errorf("failure sweep: %s mtbf=%v: %w", schedName, mtbf, err)
+		}
+		p := FailurePoint{
+			Sched:              schedName,
+			MTBF:               mtbf,
+			TotalJoules:        stats.TotalJoules,
+			Makespan:           stats.Horizon,
+			Crashes:            stats.Crashes,
+			TaskFailures:       stats.TaskFailures,
+			TasksKilledByCrash: stats.TasksKilledByCrash,
+			MapOutputsLost:     stats.MapOutputsLost,
+			JobsFailed:         stats.JobsFailed,
+		}
+		p.Convergence, p.ConvergedJobs = metrics.MeanConvergenceTime(stats.Assignments, jobIDs, 0.8)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Points = points
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"eant/internal/core"
 	"eant/internal/mapreduce"
 	"eant/internal/metrics"
+	"eant/internal/parallel"
 	"eant/internal/tabwrite"
 	"eant/internal/workload"
 )
@@ -55,7 +56,13 @@ func trailTimes(history []core.TrailSnapshot) ([]time.Duration, [][]float64) {
 // settle sooner despite system noise.
 func Fig11a() (*Fig11Result, error) {
 	res := &Fig11Result{Label: "homogeneous machines"}
-	for _, k := range []int{1, 2, 3, 8} {
+	levels := []int{1, 2, 3, 8}
+	const seeds = 5
+	// Each (level, seed) cell builds its own cluster and scheduler and runs
+	// independently; aggregation below preserves the sequential seed order.
+	cells, err := parallel.Map(len(levels)*seeds, 0, func(i int) (convProbe, error) {
+		k := levels[i/seeds]
+		seed := int64(i%seeds) + 1
 		c := cluster.MustNew(
 			cluster.Group{Spec: cluster.SpecDesktop, Count: k},
 			cluster.Group{Spec: cluster.SpecT420, Count: 2},
@@ -67,38 +74,55 @@ func Fig11a() (*Fig11Result, error) {
 		// entries — the question is how fast the policy for *that* group
 		// settles as the machine-level exchange gains samples.
 		group := make([]int, k)
-		for i := range group {
-			group[i] = i
+		for g := range group {
+			group[g] = g
 		}
-		var sum time.Duration
-		converged := 0
-		const seeds = 5
-		for seed := int64(1); seed <= int64(seeds); seed++ {
-			eant := core.MustNewEAnt(core.DefaultParams())
-			eant.TrackTrails()
-			cfg := defaultDriverConfig()
-			cfg.Seed = seed
-			cfg.ControlInterval = convergenceInterval
-			// 800 map tasks: many waves across every fleet size.
-			jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 800*workload.BlockMB, 8, 0)}
-			_, err := Campaign{Cluster: c, Instance: eant, Jobs: jobs, Config: cfg}.Run()
-			if err != nil {
-				return nil, fmt.Errorf("fig11a: k=%d: %w", k, err)
-			}
-			key := core.ColonyKey{JobID: 0, App: workload.Wordcount, Kind: mapreduce.MapTask}
-			times, rows := trailTimes(eant.TrailHistory(key))
-			if at, ok := metrics.TrailConvergenceOn(times, rows, group, TrailTolerance); ok {
-				sum += at
-				converged++
-			}
+		eant := core.MustNewEAnt(core.DefaultParams())
+		eant.TrackTrails()
+		cfg := defaultDriverConfig()
+		cfg.Seed = seed
+		cfg.ControlInterval = convergenceInterval
+		// 800 map tasks: many waves across every fleet size.
+		jobs := []workload.JobSpec{workload.NewJobSpec(0, workload.Wordcount, 800*workload.BlockMB, 8, 0)}
+		if _, err := (Campaign{Cluster: c, Instance: eant, Jobs: jobs, Config: cfg}).Run(); err != nil {
+			return convProbe{}, fmt.Errorf("fig11a: k=%d: %w", k, err)
 		}
-		row := Fig11Row{Count: k, Converged: converged}
-		if converged > 0 {
-			row.Convergence = sum / time.Duration(converged)
-		}
-		res.Rows = append(res.Rows, row)
+		key := core.ColonyKey{JobID: 0, App: workload.Wordcount, Kind: mapreduce.MapTask}
+		times, rows := trailTimes(eant.TrailHistory(key))
+		var p convProbe
+		p.At, p.OK = metrics.TrailConvergenceOn(times, rows, group, TrailTolerance)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, k := range levels {
+		res.Rows = append(res.Rows, convRow(k, cells[li*seeds:(li+1)*seeds]))
 	}
 	return res, nil
+}
+
+// convProbe is one seed's convergence measurement.
+type convProbe struct {
+	At time.Duration
+	OK bool
+}
+
+// convRow averages the converged probes of one homogeneity level.
+func convRow(count int, probes []convProbe) Fig11Row {
+	var sum time.Duration
+	converged := 0
+	for _, p := range probes {
+		if p.OK {
+			sum += p.At
+			converged++
+		}
+	}
+	row := Fig11Row{Count: count, Converged: converged}
+	if converged > 0 {
+		row.Convergence = sum / time.Duration(converged)
+	}
+	return row
 }
 
 // Fig11b reproduces the workload-homogeneity impact on search speed: n
@@ -109,44 +133,42 @@ func Fig11a() (*Fig11Result, error) {
 // settles sooner.
 func Fig11b() (*Fig11Result, error) {
 	res := &Fig11Result{Label: "homogeneous jobs"}
-	for _, n := range []int{10, 20, 30, 40} {
-		var sum time.Duration
-		converged := 0
-		const seeds = 5
-		for seed := int64(1); seed <= int64(seeds); seed++ {
-			eant := core.MustNewEAnt(core.DefaultParams())
-			eant.TrackTrails()
-			cfg := defaultDriverConfig()
-			cfg.Seed = seed
-			cfg.ControlInterval = convergenceInterval
-			// n Grep probes (IDs 0..n-1) against a fixed 30-job mixed
-			// background that keeps the cluster contended.
-			jobs := workload.Batch(workload.Grep, n, 50*workload.BlockMB, 2, 0)
-			for b := 0; b < 30; b++ {
-				app := workload.Wordcount
-				if b%2 == 1 {
-					app = workload.Terasort
-				}
-				jobs = append(jobs, workload.NewJobSpec(n+b, app, 50*workload.BlockMB, 2, 0))
+	levels := []int{10, 20, 30, 40}
+	const seeds = 5
+	cells, err := parallel.Map(len(levels)*seeds, 0, func(i int) (convProbe, error) {
+		n := levels[i/seeds]
+		seed := int64(i%seeds) + 1
+		eant := core.MustNewEAnt(core.DefaultParams())
+		eant.TrackTrails()
+		cfg := defaultDriverConfig()
+		cfg.Seed = seed
+		cfg.ControlInterval = convergenceInterval
+		// n Grep probes (IDs 0..n-1) against a fixed 30-job mixed
+		// background that keeps the cluster contended.
+		jobs := workload.Batch(workload.Grep, n, 50*workload.BlockMB, 2, 0)
+		for b := 0; b < 30; b++ {
+			app := workload.Wordcount
+			if b%2 == 1 {
+				app = workload.Terasort
 			}
-			_, err := Campaign{Cluster: cluster.Testbed(), Instance: eant, Jobs: jobs, Config: cfg}.Run()
-			if err != nil {
-				return nil, fmt.Errorf("fig11b: n=%d: %w", n, err)
-			}
-			// Probe job 0's map colony; with job-level exchange its trail
-			// pools all n Grep jobs' experiences.
-			key := core.ColonyKey{JobID: 0, App: workload.Grep, Kind: mapreduce.MapTask}
-			times, rows := trailTimes(eant.TrailHistory(key))
-			if at, ok := metrics.TrailConvergence(times, rows, TrailTolerance); ok {
-				sum += at
-				converged++
-			}
+			jobs = append(jobs, workload.NewJobSpec(n+b, app, 50*workload.BlockMB, 2, 0))
 		}
-		row := Fig11Row{Count: n, Converged: converged}
-		if converged > 0 {
-			row.Convergence = sum / time.Duration(converged)
+		if _, err := (Campaign{Cluster: cluster.Testbed(), Instance: eant, Jobs: jobs, Config: cfg}).Run(); err != nil {
+			return convProbe{}, fmt.Errorf("fig11b: n=%d: %w", n, err)
 		}
-		res.Rows = append(res.Rows, row)
+		// Probe job 0's map colony; with job-level exchange its trail
+		// pools all n Grep jobs' experiences.
+		key := core.ColonyKey{JobID: 0, App: workload.Grep, Kind: mapreduce.MapTask}
+		times, rows := trailTimes(eant.TrailHistory(key))
+		var p convProbe
+		p.At, p.OK = metrics.TrailConvergence(times, rows, TrailTolerance)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, n := range levels {
+		res.Rows = append(res.Rows, convRow(n, cells[li*seeds:(li+1)*seeds]))
 	}
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"eant/internal/mapreduce"
 	"eant/internal/metrics"
 	"eant/internal/noise"
+	"eant/internal/parallel"
 	"eant/internal/tabwrite"
 	"eant/internal/workload"
 )
@@ -71,42 +72,73 @@ func standaloneTimes(jobs []workload.JobSpec) (map[int]time.Duration, error) {
 // locality); fairness rises monotonically with β.
 func Fig12a() (*Fig12aResult, error) {
 	const seeds = 8
+	betas := []float64{0, 0.1, 0.2, 0.3, 0.4}
 	res := &Fig12aResult{}
-	for _, beta := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
+	// Per-seed prep: the workload, the standalone baselines and the FIFO
+	// reference run depend only on the seed, never on β, so each is
+	// computed once and shared read-only across the β cells. (The earlier
+	// sequential code recomputed them per β with identical results — this
+	// alone cuts the sweep's work ~5×.)
+	type prep struct {
+		jobs       []workload.JobSpec
+		standalone map[int]time.Duration
+		baseJoules float64
+	}
+	preps, err := parallel.Map(seeds, 0, func(s int) (prep, error) {
+		seed := int64(s) + 1
+		jobs, err := sensitivityWorkload(seed)
+		if err != nil {
+			return prep{}, fmt.Errorf("fig12a: %w", err)
+		}
+		standalone, err := standaloneTimes(jobs)
+		if err != nil {
+			return prep{}, fmt.Errorf("fig12a: %w", err)
+		}
+		base, err := Campaign{
+			Cluster: cluster.Testbed(), Sched: SchedFIFO, Jobs: jobs,
+			Config: sensitivityConfig(seed),
+		}.Run()
+		if err != nil {
+			return prep{}, fmt.Errorf("fig12a: baseline: %w", err)
+		}
+		return prep{jobs: jobs, standalone: standalone, baseJoules: base.TotalJoules}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	type cell struct{ saving, fairness float64 }
+	cells, err := parallel.Map(len(betas)*seeds, 0, func(i int) (cell, error) {
+		beta := betas[i/seeds]
+		s := i % seeds
+		p := preps[s]
+		params := core.DefaultParams()
+		params.Beta = beta
+		stats, err := Campaign{
+			Cluster: cluster.Testbed(), Sched: SchedEAnt, Params: params,
+			Jobs: p.jobs, Config: sensitivityConfig(int64(s) + 1),
+		}.Run()
+		if err != nil {
+			return cell{}, fmt.Errorf("fig12a: beta %v: %w", beta, err)
+		}
+		slowdowns, err := metrics.Slowdowns(stats.Jobs, func(r mapreduce.JobResult) time.Duration {
+			return p.standalone[r.Spec.ID]
+		})
+		if err != nil {
+			return cell{}, fmt.Errorf("fig12a: %w", err)
+		}
+		return cell{
+			saving:   (p.baseJoules - stats.TotalJoules) / 1000,
+			fairness: metrics.Fairness(slowdowns),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, beta := range betas {
 		var savingSum, fairSum float64
-		for seed := int64(1); seed <= seeds; seed++ {
-			jobs, err := sensitivityWorkload(seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig12a: %w", err)
-			}
-			standalone, err := standaloneTimes(jobs)
-			if err != nil {
-				return nil, fmt.Errorf("fig12a: %w", err)
-			}
-			cfg := sensitivityConfig(seed)
-			base, err := Campaign{
-				Cluster: cluster.Testbed(), Sched: SchedFIFO, Jobs: jobs, Config: cfg,
-			}.Run()
-			if err != nil {
-				return nil, fmt.Errorf("fig12a: baseline: %w", err)
-			}
-			params := core.DefaultParams()
-			params.Beta = beta
-			stats, err := Campaign{
-				Cluster: cluster.Testbed(), Sched: SchedEAnt, Params: params,
-				Jobs: jobs, Config: cfg,
-			}.Run()
-			if err != nil {
-				return nil, fmt.Errorf("fig12a: beta %v: %w", beta, err)
-			}
-			savingSum += (base.TotalJoules - stats.TotalJoules) / 1000
-			slowdowns, err := metrics.Slowdowns(stats.Jobs, func(r mapreduce.JobResult) time.Duration {
-				return standalone[r.Spec.ID]
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig12a: %w", err)
-			}
-			fairSum += metrics.Fairness(slowdowns)
+		for s := 0; s < seeds; s++ {
+			savingSum += cells[bi*seeds+s].saving
+			fairSum += cells[bi*seeds+s].fairness
 		}
 		res.Rows = append(res.Rows, Fig12aRow{
 			Beta:     beta,
@@ -147,29 +179,37 @@ func Fig12b() (*Fig12bResult, error) {
 		45 * time.Second, 60 * time.Second, 90 * time.Second,
 	}
 	res := &Fig12bResult{}
-	for _, interval := range intervals {
+	savings, err := parallel.Map(len(intervals)*seeds, 0, func(i int) (float64, error) {
+		interval := intervals[i/seeds]
+		seed := int64(i%seeds) + 1
+		jobs, err := sensitivityWorkload(seed)
+		if err != nil {
+			return 0, fmt.Errorf("fig12b: %w", err)
+		}
+		cfg := sensitivityConfig(seed)
+		cfg.ControlInterval = interval
+		base, err := Campaign{
+			Cluster: cluster.Testbed(), Sched: SchedFIFO, Jobs: jobs, Config: cfg,
+		}.Run()
+		if err != nil {
+			return 0, fmt.Errorf("fig12b: baseline: %w", err)
+		}
+		stats, err := Campaign{
+			Cluster: cluster.Testbed(), Sched: SchedEAnt, Params: core.DefaultParams(),
+			Jobs: jobs, Config: cfg,
+		}.Run()
+		if err != nil {
+			return 0, fmt.Errorf("fig12b: interval %v: %w", interval, err)
+		}
+		return (base.TotalJoules - stats.TotalJoules) / 1000, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ii, interval := range intervals {
 		var savingSum float64
-		for seed := int64(1); seed <= seeds; seed++ {
-			jobs, err := sensitivityWorkload(seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig12b: %w", err)
-			}
-			cfg := sensitivityConfig(seed)
-			cfg.ControlInterval = interval
-			base, err := Campaign{
-				Cluster: cluster.Testbed(), Sched: SchedFIFO, Jobs: jobs, Config: cfg,
-			}.Run()
-			if err != nil {
-				return nil, fmt.Errorf("fig12b: baseline: %w", err)
-			}
-			stats, err := Campaign{
-				Cluster: cluster.Testbed(), Sched: SchedEAnt, Params: core.DefaultParams(),
-				Jobs: jobs, Config: cfg,
-			}.Run()
-			if err != nil {
-				return nil, fmt.Errorf("fig12b: interval %v: %w", interval, err)
-			}
-			savingSum += (base.TotalJoules - stats.TotalJoules) / 1000
+		for s := 0; s < seeds; s++ {
+			savingSum += savings[ii*seeds+s]
 		}
 		res.Rows = append(res.Rows, Fig12bRow{Interval: interval, SavingKJ: savingSum / seeds})
 	}

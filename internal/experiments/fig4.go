@@ -8,6 +8,7 @@ import (
 	"eant/internal/mapreduce"
 	"eant/internal/metrics"
 	"eant/internal/noise"
+	"eant/internal/parallel"
 	"eant/internal/tabwrite"
 	"eant/internal/workload"
 )
@@ -33,45 +34,49 @@ type Fig4Result struct{ Rows []Fig4Row }
 // per-task recorded energy against the Eq. 2 estimates the TaskTrackers
 // report.
 func Fig4() (*Fig4Result, error) {
-	res := &Fig4Result{}
-	for _, spec := range []*cluster.TypeSpec{cluster.SpecDesktop, cluster.SpecXeonE5} {
-		for _, app := range workload.Apps() {
-			c := cluster.MustNew(cluster.Group{Spec: spec, Count: 1})
-			cfg := defaultDriverConfig()
-			cfg.Noise = noise.Default()
-			cfg.KeepTaskRecords = true
-			cfg.ForcedLocalFraction = 1
-			// ~3 GB input: enough tasks for a stable error estimate.
-			jobs := []workload.JobSpec{workload.NewJobSpec(0, app, 3072, 2, 0)}
-			stats, err := Campaign{
-				Cluster: c, Sched: SchedFIFO, Jobs: jobs, Config: cfg,
-			}.Run()
-			if err != nil {
-				return nil, fmt.Errorf("fig4: %s/%v: %w", spec.Name, app, err)
-			}
-			var rec, est []float64
-			var recSum, estSum float64
-			for _, t := range stats.Tasks {
-				rec = append(rec, t.TrueJoules)
-				est = append(est, t.EstJoules)
-				recSum += t.TrueJoules
-				estSum += t.EstJoules
-			}
-			nrmse, err := metrics.NRMSE(rec, est)
-			if err != nil {
-				return nil, fmt.Errorf("fig4: %w", err)
-			}
-			res.Rows = append(res.Rows, Fig4Row{
-				Machine:     spec.Name,
-				App:         app,
-				Tasks:       len(rec),
-				RecordedKJ:  recSum / 1000,
-				EstimatedKJ: estSum / 1000,
-				NRMSE:       nrmse,
-			})
+	specs := []*cluster.TypeSpec{cluster.SpecDesktop, cluster.SpecXeonE5}
+	apps := workload.Apps()
+	rows, err := parallel.Map(len(specs)*len(apps), 0, func(i int) (Fig4Row, error) {
+		spec := specs[i/len(apps)]
+		app := apps[i%len(apps)]
+		c := cluster.MustNew(cluster.Group{Spec: spec, Count: 1})
+		cfg := defaultDriverConfig()
+		cfg.Noise = noise.Default()
+		cfg.KeepTaskRecords = true
+		cfg.ForcedLocalFraction = 1
+		// ~3 GB input: enough tasks for a stable error estimate.
+		jobs := []workload.JobSpec{workload.NewJobSpec(0, app, 3072, 2, 0)}
+		stats, err := Campaign{
+			Cluster: c, Sched: SchedFIFO, Jobs: jobs, Config: cfg,
+		}.Run()
+		if err != nil {
+			return Fig4Row{}, fmt.Errorf("fig4: %s/%v: %w", spec.Name, app, err)
 		}
+		var rec, est []float64
+		var recSum, estSum float64
+		for _, t := range stats.Tasks {
+			rec = append(rec, t.TrueJoules)
+			est = append(est, t.EstJoules)
+			recSum += t.TrueJoules
+			estSum += t.EstJoules
+		}
+		nrmse, err := metrics.NRMSE(rec, est)
+		if err != nil {
+			return Fig4Row{}, fmt.Errorf("fig4: %w", err)
+		}
+		return Fig4Row{
+			Machine:     spec.Name,
+			App:         app,
+			Tasks:       len(rec),
+			RecordedKJ:  recSum / 1000,
+			EstimatedKJ: estSum / 1000,
+			NRMSE:       nrmse,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig4Result{Rows: rows}, nil
 }
 
 // MaxNRMSE returns the worst error across the grid.

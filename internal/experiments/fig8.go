@@ -9,6 +9,7 @@ import (
 	"eant/internal/core"
 	"eant/internal/mapreduce"
 	"eant/internal/metrics"
+	"eant/internal/parallel"
 	"eant/internal/tabwrite"
 	"eant/internal/workload"
 )
@@ -67,7 +68,36 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 		scheds = []SchedulerName{SchedFIFO, SchedFair, SchedTarazu, SchedEAnt}
 	}
 	res := &Fig8Result{Config: cfg}
-	for _, name := range scheds {
+	// Fan the (scheduler, seed) cells out over the worker pool: every cell
+	// owns its engine, RNG forks and scheduler. Aggregation below walks the
+	// cells in the exact order the sequential loops did, so the float sums
+	// are bit-identical regardless of worker count.
+	cells, err := parallel.Map(len(scheds)*cfg.Seeds, 0, func(i int) (*mapreduce.Stats, error) {
+		name := scheds[i/cfg.Seeds]
+		seed := int64(i%cfg.Seeds) + 1
+		jobs, err := workload.GenerateMSD(workload.MSDConfig{
+			Jobs:             cfg.Jobs,
+			Scale:            ScaleDown,
+			MeanInterarrival: cfg.MeanInterarrival,
+		}, newRNG(seed))
+		if err != nil {
+			return nil, fmt.Errorf("fig8: %w", err)
+		}
+		dcfg := defaultDriverConfig()
+		dcfg.Seed = seed
+		stats, err := Campaign{
+			Cluster: cluster.Testbed(), Sched: name,
+			Params: core.DefaultParams(), Jobs: jobs, Config: dcfg,
+		}.Run()
+		if err != nil {
+			return nil, fmt.Errorf("fig8: %w", err)
+		}
+		return stats, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, name := range scheds {
 		agg := SchedResult{
 			Sched:      name,
 			TypeJoules: make(map[string]float64),
@@ -76,24 +106,8 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 		}
 		classSums := make(map[string]time.Duration)
 		classCounts := make(map[string]int)
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
-			jobs, err := workload.GenerateMSD(workload.MSDConfig{
-				Jobs:             cfg.Jobs,
-				Scale:            ScaleDown,
-				MeanInterarrival: cfg.MeanInterarrival,
-			}, newRNG(seed))
-			if err != nil {
-				return nil, fmt.Errorf("fig8: %w", err)
-			}
-			dcfg := defaultDriverConfig()
-			dcfg.Seed = seed
-			stats, err := Campaign{
-				Cluster: cluster.Testbed(), Sched: name,
-				Params: core.DefaultParams(), Jobs: jobs, Config: dcfg,
-			}.Run()
-			if err != nil {
-				return nil, fmt.Errorf("fig8: %w", err)
-			}
+		for s := 0; s < cfg.Seeds; s++ {
+			stats := cells[si*cfg.Seeds+s]
 			agg.TotalJoules += stats.TotalJoules
 			agg.Makespan += stats.Horizon
 			for k, v := range stats.TypeJoules {

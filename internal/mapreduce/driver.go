@@ -182,6 +182,10 @@ type Driver struct {
 	faults         *fault.Injector
 	blacklistUntil []time.Duration
 	failCount      []int
+
+	// sampleBuf backs estimateJoules' per-completion sample slice (at most
+	// shuffle + compute), keeping the completion path allocation-free.
+	sampleBuf [2]power.TaskSample
 }
 
 // NewDriver wires a driver for one run. The scheduler must not be shared
@@ -721,7 +725,7 @@ func (d *Driver) estimateJoules(t *Task) float64 {
 		}
 		return time.Duration(n) * dt
 	}
-	var samples []power.TaskSample
+	samples := d.sampleBuf[:0]
 	if t.Kind == ReduceTask && t.shuffleSecs > 0 {
 		samples = append(samples, power.TaskSample{
 			Util: t.shuffleUtil * d.noise.MeasurementFactor(),

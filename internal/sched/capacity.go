@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"eant/internal/cluster"
 	"eant/internal/mapreduce"
@@ -21,6 +20,11 @@ type Capacity struct {
 
 	// usage[queueIdx] counts running tasks per queue.
 	usage map[int]int
+
+	// queueOrder scratch, reused across slot offers (one scheduler per
+	// single-threaded driver).
+	idx     []int
+	deficit []float64
 }
 
 // CapacityQueue declares one queue's share of the slot pool.
@@ -71,13 +75,23 @@ func (c *Capacity) Name() string { return "Capacity" }
 // come last (they may still borrow idle slots).
 func (c *Capacity) queueOrder(ctx *mapreduce.Context) []int {
 	total := float64(ctx.TotalSlots())
-	idx := make([]int, len(c.queues))
-	deficit := make([]float64, len(c.queues))
+	if c.idx == nil {
+		c.idx = make([]int, len(c.queues))
+		c.deficit = make([]float64, len(c.queues))
+	}
+	idx, deficit := c.idx, c.deficit
 	for i := range c.queues {
 		idx[i] = i
 		deficit[i] = c.queues[i].Share*total - float64(c.usage[i])
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return deficit[idx[a]] > deficit[idx[b]] })
+	// Stable insertion sort, descending by deficit: queue counts are tiny
+	// and this avoids sort.SliceStable's reflection allocations on a path
+	// hit once per slot offer.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && deficit[idx[j]] > deficit[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 	return idx
 }
 

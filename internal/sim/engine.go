@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -24,62 +23,56 @@ type Handler func()
 
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same virtual instant so execution order is deterministic.
+//
+// Event structs are pooled: once an event fires (or a cancelled event is
+// popped), its struct goes onto the engine's free list and is reused by a
+// later Schedule. gen counts reuses; an EventHandle captures the gen at
+// schedule time, so a stale handle whose event has been recycled can
+// never cancel the struct's new occupant.
 type event struct {
 	at        time.Duration
 	seq       uint64
+	gen       uint64
 	fn        Handler
-	ceiling   bool // horizon marker, fires after same-time regular events
 	cancelled bool
 }
 
 // EventHandle cancels a scheduled event. The zero value is a no-op.
-type EventHandle struct{ ev *event }
+//
+// Reuse rule: a handle is bound to one scheduled occurrence, not to the
+// underlying struct. After the event fires (or its cancellation is
+// collected), the struct may be recycled for a future Schedule; the old
+// handle then goes inert — Cancel is a no-op and Cancelled reports
+// false. It is always safe to Cancel a handle "late".
+type EventHandle struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Safe to call multiple times and
-// after the event has fired (then it has no effect).
+// after the event has fired (then it has no effect, even if the event
+// struct has since been recycled for an unrelated event).
 func (h EventHandle) Cancel() {
-	if h.ev != nil {
+	if h.ev != nil && h.ev.gen == h.gen {
 		h.ev.cancelled = true
 	}
 }
 
-// Cancelled reports whether Cancel was called.
-func (h EventHandle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
-
-// eventHeap orders events by (time, ceiling, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].ceiling != h[j].ceiling {
-		return !h[i].ceiling
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// Cancelled reports whether Cancel was called before the event fired or
+// was collected. A handle whose event already fired reports false.
+func (h EventHandle) Cancelled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.cancelled
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // not usable; construct with NewEngine. Engine is not safe for concurrent
-// use: the simulation model is a single logical process.
+// use: the simulation model is a single logical process. Concurrency
+// lives one level up — independent runs, each with its own Engine, fan
+// out through internal/parallel.
 type Engine struct {
 	now     time.Duration
-	queue   eventHeap
+	queue   []*event // binary min-heap on (at, seq)
+	free    []*event // recycled event structs
 	seq     uint64
 	stopped bool
 	fired   uint64
@@ -111,9 +104,17 @@ func (e *Engine) Schedule(at time.Duration, fn Handler) EventHandle {
 		panic(fmt.Sprintf("sim: Schedule(%v) is before Now()=%v", at, e.now))
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return EventHandle{ev: ev}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.cancelled = at, e.seq, fn, false
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
+	e.push(ev)
+	return EventHandle{ev: ev, gen: ev.gen}
 }
 
 // ScheduleAfter registers fn to run d after the current virtual time.
@@ -168,13 +169,77 @@ func (e *Engine) RunUntil(horizon time.Duration) error {
 			e.now = horizon
 			return nil
 		}
-		heap.Pop(&e.queue)
+		e.pop()
 		if next.cancelled {
+			e.recycle(next)
 			continue
 		}
 		e.now = next.at
 		e.fired++
-		next.fn()
+		fn := next.fn
+		// Recycle before firing: the handler may Schedule new events that
+		// reuse this struct. The generation bump makes any handle still
+		// pointing at this occurrence inert (see EventHandle).
+		e.recycle(next)
+		fn()
 	}
 	return nil
+}
+
+// recycle retires a popped event struct onto the free list, bumping its
+// generation so outstanding handles cannot touch its next occupant.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil // release the closure
+	e.free = append(e.free, ev)
+}
+
+// less orders events by (time, sequence): earlier first; among same-time
+// events, schedule order.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts ev into the heap.
+func (e *Engine) push(ev *event) {
+	q := append(e.queue, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	e.queue = q
+}
+
+// pop removes the minimum event from the heap.
+func (e *Engine) pop() {
+	q := e.queue
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && less(q[right], q[left]) {
+			child = right
+		}
+		if !less(q[child], q[i]) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	e.queue = q
 }
