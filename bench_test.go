@@ -8,10 +8,12 @@ package eant
 // `go test -bench=. -benchmem` doubles as the reproduction record.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
+	"eant/internal/cluster"
 	"eant/internal/core"
 	"eant/internal/experiments"
 	"eant/internal/workload"
@@ -454,6 +456,83 @@ func BenchmarkLATE(b *testing.B) {
 		speedup = run(SchedulerFair) / run(SchedulerLATE)
 	}
 	b.ReportMetric(speedup, "fair/late_makespan")
+}
+
+// --- Cluster-scale benches (DESIGN.md §7) ---
+
+// scaledTestbed returns the paper's §V-B fleet proportions multiplied by
+// factor: 16·factor machines keeping the 8:3:2:1:1:1 hardware mix.
+func scaledTestbed(tb testing.TB, factor int) *Cluster {
+	tb.Helper()
+	c, err := NewCluster(
+		ClusterGroup{Spec: cluster.SpecDesktop, Count: 8 * factor},
+		ClusterGroup{Spec: cluster.SpecT110, Count: 3 * factor},
+		ClusterGroup{Spec: cluster.SpecT420, Count: 2 * factor},
+		ClusterGroup{Spec: cluster.SpecT320, Count: factor},
+		ClusterGroup{Spec: cluster.SpecT620, Count: factor},
+		ClusterGroup{Spec: cluster.SpecAtom, Count: factor},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// scaleRun runs one cell of the scale grid and reports ns/offer: wall
+// time divided by scheduler slot offers (AssignMap+AssignReduce calls),
+// the per-heartbeat hot path. Flat ns/offer across cluster sizes is the
+// O(1)-assignment claim the incremental aggregates and per-interval
+// indices exist to deliver.
+func scaleRun(b *testing.B, sched Scheduler, factor, jobs int) {
+	b.ReportAllocs()
+	specs := MSDWorkload(jobs, 7)
+	b.ResetTimer()
+	offers := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(RunSpec{
+			Cluster:   scaledTestbed(b, factor),
+			Scheduler: sched,
+			Jobs:      specs,
+			Seed:      7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		offers += r.Stats.MapOffers + r.Stats.ReduceOffers
+	}
+	elapsed := time.Since(start)
+	if offers > 0 {
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(offers), "ns/offer")
+	}
+}
+
+// BenchmarkScale sweeps E-Ant across machines {16,64,256,1024} × jobs
+// {5,20,80}.
+func BenchmarkScale(b *testing.B) {
+	for _, factor := range []int{1, 4, 16, 64} {
+		for _, jobs := range []int{5, 20, 80} {
+			b.Run(fmt.Sprintf("machines=%d/jobs=%d", 16*factor, jobs), func(b *testing.B) {
+				scaleRun(b, SchedulerEAnt, factor, jobs)
+			})
+		}
+	}
+}
+
+// BenchmarkScaleBaselines sweeps the comparison schedulers over the same
+// grid so E-Ant's per-offer cost can be read against policies without
+// pheromone state.
+func BenchmarkScaleBaselines(b *testing.B) {
+	for _, sched := range []Scheduler{SchedulerFair, SchedulerTarazu} {
+		for _, factor := range []int{1, 4, 16, 64} {
+			for _, jobs := range []int{5, 20, 80} {
+				name := fmt.Sprintf("sched=%s/machines=%d/jobs=%d", sched, 16*factor, jobs)
+				b.Run(name, func(b *testing.B) {
+					scaleRun(b, sched, factor, jobs)
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: completed

@@ -18,6 +18,8 @@
 //	-parallel N worker cap for experiment sweeps (default GOMAXPROCS;
 //	            1 forces fully sequential execution — results are
 //	            identical either way)
+//	-cpuprofile F  write a pprof CPU profile of the experiment to F
+//	-memprofile F  write a pprof heap profile (after the run) to F
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -53,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	schedName := fs.String("sched", "E-Ant", "scheduler for 'trace' (FIFO|Fair|Tarazu|LATE|E-Ant)")
 	format := fs.String("format", "jsonl", "output for 'trace': jsonl, csv or summary")
 	workers := fs.Int("parallel", 0, "worker cap for experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: eantsim <experiment> [flags]")
 		fmt.Fprintln(stderr, "experiments:", allNames())
@@ -67,6 +73,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	parallel.SetDefaultWorkers(*workers)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "eantsim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "eantsim: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		// Snapshot the heap on the way out, after the experiment ran.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "eantsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "eantsim: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	emit := func(t *tabwrite.Table) error {
 		if *csv {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"eant/internal/cluster"
@@ -41,7 +42,43 @@ type EAnt struct {
 	// concurrency model).
 	scratchJobs    []*mapreduce.Job
 	scratchWeights []float64
+	scratchAvail   []bool
 	unavailable    []bool
+
+	// Per-control-interval index state. Trails only change at the control
+	// tick, so each map colony's trail-ranked host view (hostIndex) is
+	// valid for a whole interval; tickSeq stamps indices with the interval
+	// they were built in (starting at 1 so a zero-valued stamp never
+	// matches), and indexed lists the colonies holding a current-interval
+	// index so slot-change notifications can keep their free counters live.
+	tickSeq uint64
+	indexed []*colony
+	// reduceMeans memoizes, per job ID, the fleet-mean reduce-compute
+	// estimate (static: shuffle volume and specs are fixed at submission).
+	reduceMeans map[int]float64
+}
+
+// hostIndex is one map colony's per-control-interval view of the fleet
+// for the decline guard: available machines ranked by trail strength
+// (value descending, machine ID ascending on ties) with prefix-summed map
+// slot capacity and bucketed free-slot counters, so "can the better-trail
+// machines absorb the backlog, and does one have a free slot now" is a
+// binary search plus O(1)-ish counter reads instead of a machine scan.
+type hostIndex struct {
+	tick   uint64 // e.tickSeq when built
+	epoch  uint64 // availability epoch when built (crash/recover invalidates)
+	listed uint64 // e.tickSeq when appended to e.indexed
+
+	ids         []int     // available machine IDs in rank order
+	vals        []float64 // trail values in rank order (non-increasing)
+	prefixSlots []int     // prefixSlots[r] = Σ MapSlots over ranks [0, r)
+	rankOf      []int     // machine ID → rank; -1 when unlisted (dead)
+	freeBuckets []int     // Σ FreeMapSlots per 64-rank bucket, kept live
+}
+
+// countAtLeast returns how many ranked machines have trail ≥ threshold.
+func (idx *hostIndex) countAtLeast(threshold float64) int {
+	return sort.Search(len(idx.vals), func(i int) bool { return idx.vals[i] < threshold })
 }
 
 // TrailSnapshot is one colony's pheromone row at a control tick.
@@ -78,6 +115,29 @@ func MustNewEAnt(p Params) *EAnt {
 }
 
 var _ mapreduce.Scheduler = (*EAnt)(nil)
+var _ mapreduce.SlotObserver = (*EAnt)(nil)
+
+// OnSlotFreeChange implements mapreduce.SlotObserver: the driver reports
+// every ±1 free-slot transition, and the current interval's host indices
+// fold it into the affected machine's rank bucket. Indices stamped with an
+// older tick or availability epoch are already invalid (they rebuild on
+// next use) and are left alone. Reduce-slot changes are ignored — only the
+// map decline guard consumes a host index.
+func (e *EAnt) OnSlotFreeChange(ctx *mapreduce.Context, m *cluster.Machine, kind mapreduce.TaskKind, delta int) {
+	if kind != mapreduce.MapTask || len(e.indexed) == 0 {
+		return
+	}
+	epoch := ctx.AvailabilityEpoch()
+	for _, c := range e.indexed {
+		idx := c.idx
+		if idx.tick != e.tickSeq || idx.epoch != epoch {
+			continue
+		}
+		if r := idx.rankOf[m.ID]; r >= 0 {
+			idx.freeBuckets[r>>6] += delta
+		}
+	}
+}
 
 // Name implements mapreduce.Scheduler.
 func (e *EAnt) Name() string { return "E-Ant" }
@@ -98,6 +158,8 @@ func (e *EAnt) init(ctx *mapreduce.Context) {
 		panic(err) // params were validated in NewEAnt
 	}
 	e.mx = mx
+	e.tickSeq = 1
+	e.reduceMeans = make(map[int]float64)
 	for _, name := range ctx.Cluster.TypeNames() {
 		var ids []int
 		for _, m := range ctx.Cluster.ByType(name) {
@@ -163,27 +225,26 @@ func (e *EAnt) weight(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m *
 	return HeuristicWeight(tau, eta, e.p.Beta)
 }
 
-// pickColony draws one job from candidates by roulette over Eq. 8 weights
-// (argmax under the Greedy ablation).
-func (e *EAnt) pickColony(ctx *mapreduce.Context, m *cluster.Machine, candidates []*mapreduce.Job, kind mapreduce.TaskKind) *mapreduce.Job {
-	if len(candidates) == 0 {
-		return nil
-	}
-	weights := e.scratchWeights[:0]
-	for _, j := range candidates {
-		weights = append(weights, e.weight(ctx, j, key(j, kind), m))
-	}
-	e.scratchWeights = weights
+// pickIndex draws one still-available candidate index by roulette over the
+// precomputed Eq. 8 weights (first argmax among the available under the
+// Greedy ablation). Masking declined candidates instead of splicing them
+// out preserves both the candidate order and the roulette walk exactly:
+// a masked weight contributes +0.0 to the float total and is skipped by
+// the walk, which is bit-identical to its absence.
+func (e *EAnt) pickIndex(ctx *mapreduce.Context, weights []float64, avail []bool) int {
 	if e.p.Greedy {
-		best := 0
-		for i := 1; i < len(weights); i++ {
-			if weights[i] > weights[best] {
+		best := -1
+		for i, w := range weights {
+			if !avail[i] {
+				continue
+			}
+			if best < 0 || w > weights[best] {
 				best = i
 			}
 		}
-		return candidates[best]
+		return best
 	}
-	return candidates[RouletteSelect(ctx.Rng, weights, nil)]
+	return RouletteSelect(ctx.Rng, weights, avail)
 }
 
 // betterHostFactor is how much stronger another machine's trail must be
@@ -210,23 +271,19 @@ const betterHostFactor = 1.2
 // (Fig. 1a); under saturation E-Ant stays work-conserving and colony
 // *selection* does the affinity matching (Figs. 8b, 9).
 func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m *cluster.Machine) bool {
-	// Aggregate pending work across ALL active jobs: better hosts are
-	// shared, so judging against one colony's backlog would let every
-	// colony assume the same free capacity and collectively over-decline.
-	pending := 0
-	for _, a := range ctx.ActiveJobs() {
-		if k.Kind == mapreduce.ReduceTask {
-			pending += a.PendingReduces()
-		} else {
-			pending += a.PendingMaps()
-		}
-	}
-
 	// Under server consolidation a sleeping machine costs a wake (resume
 	// latency plus a return to full idle draw); decline unless the awake
-	// fleet genuinely cannot absorb the pending work.
+	// fleet genuinely cannot absorb the pending work. Pending work is
+	// aggregated across ALL active jobs: better hosts are shared, so
+	// judging against one colony's backlog would let every colony assume
+	// the same free capacity and collectively over-decline. This is the
+	// only path that reads pending on a reduce offer — an awake machine's
+	// reduce acceptance never consults it.
 	if m.Asleep() {
-		awakeSlots, awakeFree := e.awakeCapacity(ctx, k.Kind, m)
+		// m sits in the asleep availability class, so the awake aggregates
+		// exclude it — same machine set the old self-skipping scan covered.
+		pending := ctx.PendingTasks(k.Kind)
+		awakeSlots, awakeFree := ctx.AwakeSlots(k.Kind)
 		if pending <= awakeSlots && awakeFree > 0 {
 			return false
 		}
@@ -237,7 +294,8 @@ func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m 
 		return true
 	}
 
-	tau := e.mx.Tau(k, m.ID)
+	c := e.mx.colonyFor(k)
+	tau := c.row[m.ID]
 	if tau >= 1 {
 		return true
 	}
@@ -249,52 +307,105 @@ func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m 
 	} else if ctx.Rng.Bernoulli(p) {
 		return true
 	}
-	slots, free := e.betterHostCapacity(ctx, k, m)
-	if pending > slots || free == 0 {
-		return true
+	// A sampled decline is honored only when the better-trail machines can
+	// absorb the whole backlog AND one of them has a free slot right now.
+	return !e.betterHostsAbsorb(ctx, c, m)
+}
+
+// betterHostsAbsorb reports whether the machines whose trail for the
+// colony is meaningfully stronger than m's have enough slot capacity for
+// the fleet-wide pending map work and at least one currently-free map
+// slot — the two conditions under which declining a map assignment cannot
+// cost throughput. Served from the colony's per-interval host index: the
+// trail threshold becomes a rank from a binary search, capacity a prefix
+// sum, and the free-slot existence test a walk over 64-rank counters.
+// m itself never qualifies (threshold > its own trail, trails are > 0),
+// matching the old scan's explicit self-exclusion.
+func (e *EAnt) betterHostsAbsorb(ctx *mapreduce.Context, c *colony, m *cluster.Machine) bool {
+	idx := c.idx
+	if idx == nil || idx.tick != e.tickSeq || idx.epoch != ctx.AvailabilityEpoch() {
+		idx = e.buildIndex(ctx, c)
+	}
+	r := idx.countAtLeast(c.row[m.ID] * betterHostFactor)
+	if ctx.PendingTasks(mapreduce.MapTask) > idx.prefixSlots[r] {
+		return false
+	}
+	return e.anyFreeInRanks(ctx, idx, r)
+}
+
+// anyFreeInRanks reports whether any of the index's first r machines has a
+// free map slot: whole 64-rank buckets answer from their counters, the
+// partial tail bucket is probed machine by machine.
+func (e *EAnt) anyFreeInRanks(ctx *mapreduce.Context, idx *hostIndex, r int) bool {
+	full := r >> 6
+	for b := 0; b < full; b++ {
+		if idx.freeBuckets[b] > 0 {
+			return true
+		}
+	}
+	machines := ctx.Cluster.Machines()
+	for i := full << 6; i < r; i++ {
+		if machines[idx.ids[i]].FreeMapSlots() > 0 {
+			return true
+		}
 	}
 	return false
 }
 
-// awakeCapacity sums slot capacity and free slots of the right kind
-// across awake machines other than m.
-func (e *EAnt) awakeCapacity(ctx *mapreduce.Context, kind mapreduce.TaskKind, m *cluster.Machine) (slots, free int) {
-	for _, other := range ctx.Cluster.Machines() {
-		if other.ID == m.ID || other.Asleep() || !other.Available() {
-			continue
-		}
-		if kind == mapreduce.ReduceTask {
-			slots += other.Spec.ReduceSlots
-			free += other.FreeReduceSlots()
-		} else {
-			slots += other.Spec.MapSlots
-			free += other.FreeMapSlots()
+// buildIndex (re)builds the colony's host index for the current control
+// interval and availability epoch, reusing the colony's buffers. Called at
+// most once per map colony per interval on a healthy fleet; a crash or
+// recovery bumps the availability epoch and forces a rebuild on next use.
+func (e *EAnt) buildIndex(ctx *mapreduce.Context, c *colony) *hostIndex {
+	idx := c.idx
+	if idx == nil {
+		idx = &hostIndex{}
+		c.idx = idx
+	}
+	machines := ctx.Cluster.Machines()
+	if cap(idx.rankOf) < len(machines) {
+		idx.rankOf = make([]int, len(machines))
+	}
+	idx.rankOf = idx.rankOf[:len(machines)]
+	for i := range idx.rankOf {
+		idx.rankOf[i] = -1
+	}
+	ids := idx.ids[:0]
+	for _, m := range machines {
+		if m.Available() {
+			ids = append(ids, m.ID)
 		}
 	}
-	return slots, free
-}
-
-// betterHostCapacity sums slot capacity and currently-free slots of the
-// right kind across machines whose trail for the colony is meaningfully
-// stronger than m's.
-func (e *EAnt) betterHostCapacity(ctx *mapreduce.Context, k ColonyKey, m *cluster.Machine) (slots, free int) {
-	// One key lookup for the whole scan: the colony's row is indexed by
-	// machine ID, so the per-machine probe is a slice load, not a map hash.
-	row := e.mx.row(k)
-	threshold := row[m.ID] * betterHostFactor
-	for _, other := range ctx.Cluster.Machines() {
-		if other.ID == m.ID || !other.Available() || row[other.ID] < threshold {
-			continue
+	row := c.row
+	sort.Slice(ids, func(a, b int) bool {
+		if row[ids[a]] != row[ids[b]] {
+			return row[ids[a]] > row[ids[b]]
 		}
-		if k.Kind == mapreduce.ReduceTask {
-			slots += other.Spec.ReduceSlots
-			free += other.FreeReduceSlots()
-		} else {
-			slots += other.Spec.MapSlots
-			free += other.FreeMapSlots()
-		}
+		return ids[a] < ids[b]
+	})
+	idx.ids = ids
+	idx.vals = idx.vals[:0]
+	idx.prefixSlots = append(idx.prefixSlots[:0], 0)
+	idx.freeBuckets = idx.freeBuckets[:0]
+	for b := (len(ids) + 63) / 64; b > 0; b-- {
+		idx.freeBuckets = append(idx.freeBuckets, 0)
 	}
-	return slots, free
+	slots := 0
+	for rank, id := range ids {
+		m := machines[id]
+		idx.vals = append(idx.vals, row[id])
+		idx.rankOf[id] = rank
+		slots += m.Spec.MapSlots
+		idx.prefixSlots = append(idx.prefixSlots, slots)
+		idx.freeBuckets[rank>>6] += m.FreeMapSlots()
+	}
+	idx.tick = e.tickSeq
+	idx.epoch = ctx.AvailabilityEpoch()
+	if idx.listed != e.tickSeq {
+		idx.listed = e.tickSeq
+		e.indexed = append(e.indexed, c)
+	}
+	return idx
 }
 
 // selectColony realizes Eq. 8 for one slot offer: restrict candidates to
@@ -307,26 +418,36 @@ func (e *EAnt) betterHostCapacity(ctx *mapreduce.Context, k ColonyKey, m *cluste
 // machines — the energy cost of the stretched makespan always exceeds
 // the dynamic-energy saving of the better host.
 func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidates []*mapreduce.Job, kind mapreduce.TaskKind) *mapreduce.Job {
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Weights depend only on trails, fairness occupancy, and locality —
+	// none of which an intra-offer decline changes — so they are computed
+	// once and declined colonies are masked out in place for the redraw.
+	weights := e.scratchWeights[:0]
+	for _, j := range candidates {
+		weights = append(weights, e.weight(ctx, j, key(j, kind), m))
+	}
+	e.scratchWeights = weights
+	avail := e.scratchAvail[:0]
+	for range candidates {
+		avail = append(avail, true)
+	}
+	e.scratchAvail = avail
+
 	draws := e.p.ColonyDraws
 	if len(candidates) < draws {
 		draws = len(candidates)
 	}
 	for attempt := 0; attempt < draws; attempt++ {
-		j := e.pickColony(ctx, m, candidates, kind)
-		if j == nil {
-			return nil
-		}
+		i := e.pickIndex(ctx, weights, avail)
+		j := candidates[i]
 		if e.accepts(ctx, j, key(j, kind), m) {
 			return j
 		}
-		// Remove the declined colony and redraw: m may still be a good
-		// host for a different colony.
-		for i, c := range candidates {
-			if c == j {
-				candidates = append(candidates[:i], candidates[i+1:]...)
-				break
-			}
-		}
+		// Mask the declined colony and redraw: m may still be a good host
+		// for a different colony.
+		avail[i] = false
 	}
 	return nil
 }
@@ -385,20 +506,27 @@ func (e *EAnt) reduceWouldStraggle(ctx *mapreduce.Context, j *mapreduce.Job, m *
 	if own <= 0 {
 		return false
 	}
-	var mean float64
-	names := ctx.Cluster.TypeNames()
-	for _, name := range names {
-		mean += ctx.EstimateReduceSeconds(j, ctx.Cluster.ByType(name)[0].Spec)
+	mean, ok := e.reduceMeans[j.Spec.ID]
+	if !ok {
+		// Fleet-mean reduce estimate over one representative spec per type
+		// (sorted type-name order — the same accumulation order as the old
+		// per-offer loop). Static per job, so computed once.
+		specs := ctx.TypeSpecs()
+		for _, spec := range specs {
+			mean += ctx.EstimateReduceSeconds(j, spec)
+		}
+		mean /= float64(len(specs))
+		e.reduceMeans[j.Spec.ID] = mean
 	}
-	mean /= float64(len(names))
 	if own <= mean*slowReduceFactor {
 		return false
 	}
-	for _, other := range ctx.Cluster.Machines() {
-		if other.ID == m.ID || other.FreeReduceSlots() == 0 {
-			continue
-		}
-		if ctx.EstimateReduceSeconds(j, other.Spec) <= mean*slowReduceFactor {
+	// A fast machine with a free reduce slot exists iff some machine TYPE
+	// is fast and has free reduce slots. m's own type is never fast here
+	// (its estimate is own > mean·factor), so m needs no special-casing —
+	// matching the old scan's self-exclusion.
+	for i, spec := range ctx.TypeSpecs() {
+		if ctx.EstimateReduceSeconds(j, spec) <= mean*slowReduceFactor && ctx.FreeReduceSlotsOfType(i) > 0 {
 			return true
 		}
 	}
@@ -416,9 +544,19 @@ func (e *EAnt) OnTaskComplete(ctx *mapreduce.Context, t *mapreduce.Task) {
 // and fold the interval's feedback into the trails.
 func (e *EAnt) OnControlTick(ctx *mapreduce.Context) {
 	e.init(ctx)
+	// Trails are about to change: open a new index interval and drop the
+	// indexed-colony list BEFORE retiring colonies, so it never holds a
+	// reference to a retired colony.
+	e.tickSeq++
+	e.indexed = e.indexed[:0]
 	active := make(map[int]bool, len(ctx.ActiveJobs()))
 	for _, j := range ctx.ActiveJobs() {
 		active[j.Spec.ID] = true
+	}
+	for id := range e.reduceMeans {
+		if !active[id] {
+			delete(e.reduceMeans, id)
+		}
 	}
 	e.mx.RetireInactive(func(jobID int) bool { return active[jobID] })
 	// Crashed machines' trails are frozen out of the exchange and left to

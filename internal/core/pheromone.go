@@ -40,6 +40,12 @@ type colony struct {
 	delta    []float64
 	count    []int
 	hasDelta bool
+
+	// idx is the colony's per-control-interval host index (E-Ant's decline
+	// guard): trails only change at the control tick, so the trail-ranked
+	// machine view is rebuilt at most once per colony per interval. Owned
+	// and stamped by EAnt (see eant.go); buffers are reused across rebuilds.
+	idx *hostIndex
 }
 
 // Matrix holds pheromone trails per colony over the machine set and folds

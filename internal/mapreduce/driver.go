@@ -186,6 +186,20 @@ type Driver struct {
 	// sampleBuf backs estimateJoules' per-completion sample slice (at most
 	// shuffle + compute), keeping the completion path allocation-free.
 	sampleBuf [2]power.TaskSample
+
+	// agg is the incremental-statistics layer serving the scheduler hot
+	// path (see aggregates.go); typeReps is one representative spec per
+	// machine type in sorted type-name order; mapEst memoizes the
+	// (app, spec) map-service estimates — both inputs are static.
+	agg      aggregates
+	typeReps []*cluster.TypeSpec
+	mapEst   map[mapEstKey]float64
+
+	// slotObs receives free-slot change notifications when the scheduler
+	// implements SlotObserver; onMutation is the test-only invariant hook
+	// (EnableInvariantChecks).
+	slotObs    SlotObserver
+	onMutation func(where string)
 }
 
 // NewDriver wires a driver for one run. The scheduler must not be shared
@@ -224,6 +238,10 @@ func NewDriver(c *cluster.Cluster, sched Scheduler, cfg Config) (*Driver, error)
 		intervalAssign:   make(map[int]map[int]int),
 		faults:           inj,
 	}
+	if obs, ok := sched.(SlotObserver); ok {
+		d.slotObs = obs
+	}
+	d.initAggregates()
 	if inj.Enabled() {
 		d.blacklistUntil = make([]time.Duration, c.Size())
 		d.failCount = make([]int, c.Size())
@@ -331,10 +349,14 @@ func (d *Driver) submit(j *Job) {
 	j.Submitted = d.engine.Now()
 	d.active = append(d.active, j)
 	d.unsubmit--
+	d.notePending(j, MapTask, j.PendingMaps())
+	d.notePending(j, ReduceTask, j.PendingReduces())
+	d.syncReduceGate(j)
 	// Degenerate jobs with zero tasks complete immediately.
 	if len(j.Maps) == 0 && len(j.Reduces) == 0 {
 		d.completeJob(j)
 	}
+	d.mutated("submit")
 }
 
 // serveHeartbeats walks machines in rotating order, filling free slots via
@@ -349,11 +371,17 @@ func (d *Driver) serveHeartbeats() {
 		if !m.Available() {
 			continue
 		}
+		// Blacklist expiry is a time-based transition with no event
+		// attached; reconcile the availability class at the heartbeat.
+		if d.agg.class[m.ID] == classBlacklisted && !d.blacklisted(m.ID) {
+			d.reclassify(m)
+		}
 		d.maybeSleep(m)
 		if d.blacklisted(m.ID) {
 			continue
 		}
 		for m.FreeMapSlots() > 0 {
+			d.stats.MapOffers++
 			t := d.sched.AssignMap(d.ctx, m)
 			if t == nil {
 				break
@@ -361,6 +389,7 @@ func (d *Driver) serveHeartbeats() {
 			d.startMap(t, m)
 		}
 		for m.FreeReduceSlots() > 0 {
+			d.stats.ReduceOffers++
 			t := d.sched.AssignReduce(d.ctx, m)
 			if t == nil {
 				break
@@ -382,6 +411,8 @@ func (d *Driver) maybeSleep(m *cluster.Machine) {
 	d.meter.Sync(m, d.engine.Now())
 	m.Sleep(d.cfg.Power.SleepWatts)
 	d.stats.Sleeps++
+	d.reclassify(m)
+	d.mutated("sleep")
 }
 
 // wakeIfNeeded powers m up for an incoming task, returning the wake
@@ -393,6 +424,8 @@ func (d *Driver) wakeIfNeeded(m *cluster.Machine) float64 {
 	d.meter.Sync(m, d.engine.Now())
 	m.Wake()
 	d.stats.Wakes++
+	d.reclassify(m)
+	d.mutated("wake")
 	return d.cfg.Power.WakeLatency.Seconds()
 }
 
@@ -484,6 +517,7 @@ func (d *Driver) startMap(t *Task, m *cluster.Machine) {
 	if !m.AcquireMap(t.trueUtil) {
 		panic(fmt.Sprintf("mapreduce: %s assigned map with no free slot", m))
 	}
+	d.noteSlotChange(m, MapTask, -1)
 	t.State = TaskRunning
 	t.Machine = m
 	t.Start = now
@@ -493,6 +527,7 @@ func (d *Driver) startMap(t *Task, m *cluster.Machine) {
 	if t.Local {
 		d.stats.LocalMaps++
 	}
+	d.mutated("startMap")
 	if d.faults.AttemptFails() {
 		t.doomed = true
 		t.pendingEvent = d.engine.ScheduleAfter(secsToDur(dur*d.faults.FailurePoint()), func() { d.failAttempt(t) })
@@ -527,6 +562,7 @@ func (d *Driver) startReduce(t *Task, m *cluster.Machine) {
 	if !m.AcquireReduce(t.shuffleUtil) {
 		panic(fmt.Sprintf("mapreduce: %s assigned reduce with no free slot", m))
 	}
+	d.noteSlotChange(m, ReduceTask, -1)
 	t.State = TaskShuffling
 	t.Machine = m
 	t.Start = now
@@ -540,6 +576,7 @@ func (d *Driver) startReduce(t *Task, m *cluster.Machine) {
 		d.finalizeReduce(t)
 	}
 	// Otherwise the map-barrier completion will finalize it.
+	d.mutated("startReduce")
 }
 
 // finalizeReduce schedules the shuffle→compute transition and completion,
@@ -587,6 +624,7 @@ func (d *Driver) completeTask(t *Task) {
 	case ReduceTask:
 		m.ReleaseReduce(t.trueUtil)
 	}
+	d.noteSlotChange(m, t.Kind, 1)
 	t.State = TaskDone
 	t.Finish = now
 	if d.lastBusy != nil {
@@ -622,6 +660,7 @@ func (d *Driver) completeTask(t *Task) {
 	switch t.Kind {
 	case MapTask:
 		j.mapsDone++
+		d.syncReduceGate(j)
 		if j.MapsDone() {
 			j.MapsDoneAt = now
 			if j.LastShuffleEnd < now {
@@ -644,6 +683,7 @@ func (d *Driver) completeTask(t *Task) {
 	if j.mapsDone == len(j.Maps) && j.reducesDone == len(j.Reduces) && !j.done {
 		d.completeJob(j)
 	}
+	d.mutated("completeTask")
 }
 
 // killTask terminates the losing attempt of a speculative pair: its next
@@ -677,6 +717,7 @@ func (d *Driver) detachRunning(t *Task) bool {
 	} else {
 		m.ReleaseReduce(util)
 	}
+	d.noteSlotChange(m, t.Kind, 1)
 	j := t.Job
 	j.running--
 	j.runningByMachine[m.ID]--
@@ -687,6 +728,7 @@ func (d *Driver) detachRunning(t *Task) bool {
 func (d *Driver) completeJob(j *Job) {
 	j.done = true
 	j.Finished = d.engine.Now()
+	d.dropJobAggregates(j)
 	if len(j.Maps) == 0 {
 		j.MapsDoneAt = j.Finished
 	}
@@ -704,6 +746,7 @@ func (d *Driver) completeJob(j *Job) {
 			break
 		}
 	}
+	d.mutated("completeJob")
 	if d.finished() {
 		d.engine.Stop()
 	}

@@ -28,6 +28,9 @@ func run(t *testing.T, c *cluster.Cluster, s mapreduce.Scheduler, cfg mapreduce.
 	if err != nil {
 		t.Fatalf("NewDriver: %v", err)
 	}
+	// Every driver test doubles as an aggregate-invariant test: after each
+	// mutating event the incremental statistics must equal a recompute.
+	d.EnableInvariantChecks(func(err error) { t.Fatal(err) })
 	stats, err := d.Run(jobs, -1)
 	if err != nil {
 		t.Fatalf("Run: %v", err)

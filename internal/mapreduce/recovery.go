@@ -38,6 +38,7 @@ func (d *Driver) failAttempt(t *Task) {
 		return
 	}
 	d.rescheduleAttempt(t)
+	d.mutated("failAttempt")
 }
 
 // rescheduleAttempt returns a dead attempt's logical task to the pending
@@ -67,11 +68,11 @@ func (d *Driver) rescheduleAttempt(t *Task) {
 			return
 		}
 		o.resetForRetry()
-		o.Job.requeueRetry(o)
+		d.requeuePending(o)
 		return
 	}
 	t.resetForRetry()
-	t.Job.requeueRetry(t)
+	d.requeuePending(t)
 }
 
 // crashMachine is the fault injector's crash hook. Every in-flight attempt
@@ -121,10 +122,12 @@ func (d *Driver) crashMachine(id int) {
 	}
 
 	m.Fail()
+	d.noteAvailabilityChange(m)
 	d.totalSlots -= m.Spec.Slots()
 	d.totalMapSlots -= m.Spec.MapSlots
 	d.totalReduceSlots -= m.Spec.ReduceSlots
 	d.stats.Crashes++
+	d.mutated("crash")
 }
 
 // reexecuteLostMaps requeues job j's completed map tasks whose output
@@ -144,11 +147,13 @@ func (d *Driver) reexecuteLostMaps(j *Job, m *cluster.Machine) {
 		if t.State == TaskDone && t.Machine == m {
 			j.mapsDone--
 			t.resetForRetry()
-			j.requeueRetry(t)
+			d.requeuePending(t)
 			d.stats.MapOutputsLost++
 			lost++
 		}
 	}
+	// Re-executed maps can drag progress back under the slowstart gate.
+	d.syncReduceGate(j)
 	if lost == 0 || !barrierWasDone {
 		return
 	}
@@ -180,7 +185,9 @@ func (d *Driver) recoverMachine(id int) {
 		d.failCount[id] = 0
 		d.blacklistUntil[id] = 0
 	}
+	d.noteAvailabilityChange(m)
 	d.stats.Recoveries++
+	d.mutated("recover")
 }
 
 // failJob terminates j after a task exhausted its retry budget: every
@@ -200,6 +207,7 @@ func (d *Driver) failJob(j *Job) {
 		t.State = TaskKilled
 		t.Finish = j.Finished
 	}
+	d.dropJobAggregates(j)
 	j.pendingHead = len(j.pendingMaps)
 	j.reduceHead = len(j.pendingReduces)
 	j.localPending = make(map[int][]int)
@@ -220,6 +228,7 @@ func (d *Driver) failJob(j *Job) {
 			break
 		}
 	}
+	d.mutated("failJob")
 	if d.finished() {
 		d.engine.Stop()
 	}
@@ -237,6 +246,7 @@ func (d *Driver) noteMachineFailure(m *cluster.Machine) {
 		d.blacklistUntil[m.ID] = d.engine.Now() + cfg.BlacklistCooldown
 		d.failCount[m.ID] = 0
 		d.stats.Blacklists++
+		d.reclassify(m)
 	}
 }
 

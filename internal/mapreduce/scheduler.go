@@ -29,6 +29,23 @@ type Scheduler interface {
 	OnControlTick(ctx *Context)
 }
 
+// SlotObserver is an optional Scheduler extension: the driver notifies it
+// whenever a machine's free-slot count of one kind changes (task start,
+// completion, kill). Schedulers use it to keep per-control-interval
+// indices (E-Ant's trail-ranked free-slot counters) current without
+// rescanning machines on every offer.
+type SlotObserver interface {
+	OnSlotFreeChange(ctx *Context, m *cluster.Machine, kind TaskKind, delta int)
+}
+
+// mapEstKey keys the driver's memo of map-service estimates: workload
+// profiles, block size, and machine specs are all static, so the estimate
+// is a pure function of (app, spec).
+type mapEstKey struct {
+	app  workload.App
+	spec *cluster.TypeSpec
+}
+
 // Context is the JobTracker state a scheduler may consult.
 type Context struct {
 	Cluster *cluster.Cluster
@@ -66,20 +83,14 @@ func (c *Context) TotalSlots() int { return c.driver.totalSlots }
 // fleet's slot capacity for that kind. Schedulers that deliberately idle
 // slots (E-Ant) use it to stay work-conserving under heavy load.
 func (c *Context) QueuePressure(kind TaskKind) float64 {
-	pending := 0
-	slots := 0
+	d := c.driver
+	var pending, slots int
 	if kind == MapTask {
-		for _, j := range c.driver.active {
-			pending += j.PendingMaps()
-		}
-		slots = c.driver.totalMapSlots
+		pending = d.agg.pendingMaps
+		slots = d.totalMapSlots
 	} else {
-		for _, j := range c.driver.active {
-			if c.ReduceReady(j) {
-				pending += j.PendingReduces()
-			}
-		}
-		slots = c.driver.totalReduceSlots
+		pending = d.agg.readyPendingReduces
+		slots = d.totalReduceSlots
 	}
 	if slots == 0 {
 		return 1
@@ -108,24 +119,43 @@ func (c *Context) HasLocalMap(j *Job, m *cluster.Machine) bool {
 }
 
 // PopMapPreferLocal removes and returns a pending map of j, choosing a
-// block-local task for m when one exists.
+// block-local task for m when one exists. The pending aggregate is updated
+// by the operation's observed delta: a local pop leaves its FIFO entry
+// behind (delta 0), exactly reproducing the lazy-queue count.
 func (c *Context) PopMapPreferLocal(j *Job, m *cluster.Machine) *Task {
-	if t := j.popLocalMap(m.ID); t != nil {
-		return t
+	before := j.PendingMaps()
+	t := j.popLocalMap(m.ID)
+	if t == nil {
+		t = j.popAnyMap()
 	}
-	return j.popAnyMap()
+	c.driver.notePending(j, MapTask, j.PendingMaps()-before)
+	return t
 }
 
 // PopMapAny removes and returns the oldest pending map of j, ignoring
 // locality.
-func (c *Context) PopMapAny(j *Job) *Task { return j.popAnyMap() }
+func (c *Context) PopMapAny(j *Job) *Task {
+	before := j.PendingMaps()
+	t := j.popAnyMap()
+	c.driver.notePending(j, MapTask, j.PendingMaps()-before)
+	return t
+}
 
 // PopReduce removes and returns the next pending reduce of j.
-func (c *Context) PopReduce(j *Job) *Task { return j.popReduce() }
+func (c *Context) PopReduce(j *Job) *Task {
+	before := j.PendingReduces()
+	t := j.popReduce()
+	c.driver.notePending(j, ReduceTask, j.PendingReduces()-before)
+	return t
+}
 
 // Requeue returns an unstarted task popped this heartbeat back to its job
-// (the scheduler declined the assignment after inspecting it).
-func (c *Context) Requeue(t *Task) { t.Job.requeue(t) }
+// (the scheduler declined the assignment after inspecting it). requeue
+// always re-adds exactly one live entry, so the pending delta is +1.
+func (c *Context) Requeue(t *Task) {
+	t.Job.requeue(t)
+	c.driver.notePending(t.Job, t.Kind, 1)
+}
 
 // CloneForSpeculation creates a speculative copy of a straggling running
 // attempt, to be returned from AssignMap/AssignReduce like a pending
@@ -156,17 +186,69 @@ func (c *Context) CloneForSpeculation(orig *Task) *Task {
 // EstimateMapSeconds predicts the noise-free service time of one of j's
 // map tasks on machine spec, assuming data-local execution. Schedulers
 // like Tarazu use it as the task-duration profile a real implementation
-// would learn from completed waves.
+// would learn from completed waves. Every input is static, so the value
+// is memoized per (app, spec) on the driver.
 func (c *Context) EstimateMapSeconds(j *Job, spec *cluster.TypeSpec) float64 {
+	key := mapEstKey{j.Spec.App, spec}
+	if v, ok := c.driver.mapEst[key]; ok {
+		return v
+	}
 	prof := workload.ProfileOf(j.Spec.App)
 	_, total := mapService(prof, workload.BlockMB, spec, true, c.driver.cfg.NetShareDivisor)
+	if c.driver.mapEst == nil {
+		c.driver.mapEst = make(map[mapEstKey]float64, 32)
+	}
+	c.driver.mapEst[key] = total
 	return total
 }
 
 // EstimateReduceSeconds predicts the noise-free compute time of one of j's
-// reduce tasks on machine spec (shuffle excluded).
+// reduce tasks on machine spec (shuffle excluded). Shuffle volume is fixed
+// at submission, so the value is memoized per spec on the job.
 func (c *Context) EstimateReduceSeconds(j *Job, spec *cluster.TypeSpec) float64 {
+	if v, ok := j.reduceEst[spec]; ok {
+		return v
+	}
 	prof := workload.ProfileOf(j.Spec.App)
 	_, _, compute := reduceService(prof, j.Spec.ShuffleMBPerReduce(), spec, c.driver.cfg.NetShareDivisor)
+	if j.reduceEst == nil {
+		j.reduceEst = make(map[*cluster.TypeSpec]float64, 8)
+	}
+	j.reduceEst[spec] = compute
 	return compute
 }
+
+// PendingTasks returns the cluster-wide count of unassigned tasks of the
+// given kind across active jobs, with the same lazy-queue semantics as a
+// per-job PendingMaps/PendingReduces scan.
+func (c *Context) PendingTasks(kind TaskKind) int {
+	if kind == MapTask {
+		return c.driver.agg.pendingMaps
+	}
+	return c.driver.agg.pendingReduces
+}
+
+// AwakeSlots returns the slot capacity and free slots of the given kind on
+// powered-up machines. Blacklisted machines count (they hold slots and
+// finish in-flight work); dead and sleeping machines do not.
+func (c *Context) AwakeSlots(kind TaskKind) (slots, free int) {
+	a := &c.driver.agg
+	aw, bl := &a.byClass[classAwake], &a.byClass[classBlacklisted]
+	if kind == MapTask {
+		return aw.mapSlots + bl.mapSlots, aw.freeMap + bl.freeMap
+	}
+	return aw.reduceSlots + bl.reduceSlots, aw.freeReduce + bl.freeReduce
+}
+
+// AvailabilityEpoch counts machine crash/recover transitions. Schedulers
+// stamp per-control-interval indices with it so a mid-interval
+// availability change invalidates them.
+func (c *Context) AvailabilityEpoch() uint64 { return c.driver.agg.epoch }
+
+// TypeSpecs returns one representative spec per machine type in sorted
+// type-name order. The slice is shared; callers must not mutate it.
+func (c *Context) TypeSpecs() []*cluster.TypeSpec { return c.driver.typeReps }
+
+// FreeReduceSlotsOfType returns the free reduce slots on machines of the
+// i-th type (TypeSpecs order), excluding dead machines.
+func (c *Context) FreeReduceSlotsOfType(i int) int { return c.driver.agg.freeReduceByType[i] }

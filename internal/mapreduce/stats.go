@@ -115,6 +115,12 @@ type Stats struct {
 	LocalMaps int
 	TotalMaps int
 
+	// MapOffers / ReduceOffers count scheduler slot offers (AssignMap /
+	// AssignReduce calls) — the hot-path operation the scale benchmarks
+	// divide by to report ns/offer.
+	MapOffers    int
+	ReduceOffers int
+
 	// Speculation bookkeeping: clones launched, races won by the clone,
 	// and attempts killed as race losers (original or clone).
 	SpeculativeStarted int

@@ -205,6 +205,17 @@ type Job struct {
 	// runningSet tracks in-flight attempts (originals and speculative
 	// clones) for the speculation scan.
 	runningSet map[*Task]struct{}
+
+	// reduceGateOpen caches whether MapProgress has passed the slowstart
+	// threshold, so the ready-pending-reduce aggregate knows which jobs'
+	// pending reduces count as schedulable. Synced by Driver.syncReduceGate
+	// at submit, map completion, and lost-map re-execution (progress can
+	// move backwards).
+	reduceGateOpen bool
+	// reduceEst memoizes EstimateReduceSeconds per machine type: shuffle
+	// volume and profile are fixed at submission, so the estimate is static
+	// per (job, type). Allocated lazily on first estimate.
+	reduceEst map[*cluster.TypeSpec]float64
 }
 
 // newJob materializes tasks for a spec. Block replica locations are

@@ -68,11 +68,11 @@ func capability(s *cluster.TypeSpec) float64 {
 // type. >1 means this machine is a comparatively good home for the job.
 func (t *Tarazu) advantage(ctx *mapreduce.Context, j *mapreduce.Job, spec *cluster.TypeSpec) float64 {
 	var mean float64
-	names := ctx.Cluster.TypeNames()
-	for _, name := range names {
-		mean += ctx.EstimateMapSeconds(j, ctx.Cluster.ByType(name)[0].Spec)
+	specs := ctx.TypeSpecs()
+	for _, s := range specs {
+		mean += ctx.EstimateMapSeconds(j, s)
 	}
-	mean /= float64(len(names))
+	mean /= float64(len(specs))
 	return mean / ctx.EstimateMapSeconds(j, spec)
 }
 
@@ -127,16 +127,16 @@ func (t *Tarazu) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapre
 	t.init(ctx)
 	var best *mapreduce.Job
 	bestScore := 0.0
-	names := ctx.Cluster.TypeNames()
+	specs := ctx.TypeSpecs()
 	for _, j := range ctx.ActiveJobs() {
 		if !ctx.ReduceReady(j) {
 			continue
 		}
 		var mean float64
-		for _, name := range names {
-			mean += ctx.EstimateReduceSeconds(j, ctx.Cluster.ByType(name)[0].Spec)
+		for _, s := range specs {
+			mean += ctx.EstimateReduceSeconds(j, s)
 		}
-		mean /= float64(len(names))
+		mean /= float64(len(specs))
 		own := ctx.EstimateReduceSeconds(j, m.Spec)
 		score := 1.0
 		if own > 0 {

@@ -1,0 +1,50 @@
+package eant
+
+import "testing"
+
+// TestScaleSweepParallel drives a miniature BenchmarkScale grid through
+// the internal/parallel worker pool and checks every cell against its
+// sequential rerun. Under `go test -race` it doubles as the data-race
+// check for the incremental-aggregate and per-interval-index hot paths
+// while many simulations share the process.
+func TestScaleSweepParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep; skipped in -short mode")
+	}
+	var specs []RunSpec
+	for _, factor := range []int{1, 4} {
+		c := scaledTestbed(t, factor)
+		for _, jobs := range []int{5, 20} {
+			for _, sched := range []Scheduler{SchedulerEAnt, SchedulerFair} {
+				specs = append(specs, RunSpec{
+					Cluster:   c,
+					Scheduler: sched,
+					Jobs:      MSDWorkload(jobs, 3),
+					Seed:      3,
+				})
+			}
+		}
+	}
+	par, err := RunMany(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		spec.Cluster = spec.Cluster.Clone()
+		seq, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := par[i]
+		if p.TotalJoules != seq.TotalJoules || p.Makespan != seq.Makespan ||
+			p.Stats.MapOffers != seq.Stats.MapOffers ||
+			p.Stats.ReduceOffers != seq.Stats.ReduceOffers {
+			t.Errorf("spec %d (%s): parallel run diverged from sequential: "+
+				"joules %v vs %v, makespan %v vs %v, offers %d+%d vs %d+%d",
+				i, spec.Scheduler,
+				p.TotalJoules, seq.TotalJoules, p.Makespan, seq.Makespan,
+				p.Stats.MapOffers, p.Stats.ReduceOffers,
+				seq.Stats.MapOffers, seq.Stats.ReduceOffers)
+		}
+	}
+}
