@@ -1,0 +1,34 @@
+# Convenience entry points mirroring the CI pipeline. `make lint` is the
+# local pre-push check for the determinism/hot-path contracts; see
+# DESIGN.md §12 for what each analyzer enforces.
+
+GO ?= go
+
+.PHONY: all build test race lint vet fmt check bench-smoke
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+# The eantlint multichecker: rngonly, noclock, maporder, floatsum,
+# statsmut. Exits non-zero with file:line diagnostics on any violation.
+lint:
+	$(GO) run ./cmd/eantlint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: fmt vet build lint test
+
+bench-smoke:
+	$(GO) test -run xxx -bench SimulatorThroughput -benchtime=1x -benchmem .

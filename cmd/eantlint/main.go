@@ -1,0 +1,160 @@
+// Command eantlint is the project's multichecker: it runs the
+// internal/analysis suite — rngonly, noclock, maporder, floatsum,
+// statsmut — over every package of this module and reports violations of
+// the simulator's determinism and hot-path contracts.
+//
+// Usage:
+//
+//	eantlint [-format text|github] [packages...]
+//
+// With no arguments (or "./..."), every package in the module is checked.
+// Arguments may also be directories relative to the module root
+// (e.g. internal/core). Exit status is 1 if any diagnostic was reported,
+// 2 on a loading or usage error.
+//
+// -format=github emits GitHub Actions workflow annotations
+// (::error file=...,line=...) so CI failures render as clickable
+// file:line markers on the pull request.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"eant/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eantlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "text", "diagnostic format: text or github (GitHub Actions annotations)")
+	list := fs.Bool("analyzers", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: eantlint [-format text|github] [packages...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "github" {
+		fmt.Fprintf(stderr, "eantlint: unknown format %q\n", *format)
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "eantlint: %v\n", err)
+		return 2
+	}
+	dirs, err := selectDirs(root, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "eantlint: %v\n", err)
+		return 2
+	}
+
+	loader := analysis.NewLoader()
+	found := 0
+	for _, dp := range dirs {
+		pkg, err := loader.LoadDir(dp[0], dp[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "eantlint: %v\n", err)
+			return 2
+		}
+		diags, err := analysis.Run(pkg, analysis.All())
+		if err != nil {
+			fmt.Fprintf(stderr, "eantlint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			found++
+			fmt.Fprintln(stdout, formatDiag(*format, root, d))
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(stderr, "eantlint: %d violation(s)\n", found)
+		return 1
+	}
+	return 0
+}
+
+// formatDiag renders one diagnostic. "github" produces a GitHub Actions
+// workflow annotation — the repo-relative file path and line make the
+// violation a clickable marker on the pull request. Messages are
+// single-line by construction, so no %0A escaping is needed.
+func formatDiag(format, root string, d analysis.Diagnostic) string {
+	if format == "github" {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil {
+			rel = filepath.ToSlash(r)
+		}
+		return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=eantlint/%s::%s",
+			rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return d.String()
+}
+
+// moduleRoot locates the enclosing module by walking up to go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// selectDirs resolves the package arguments to (dir, importPath) pairs.
+// "./..." or no arguments selects the whole module.
+func selectDirs(root string, args []string) ([][2]string, error) {
+	all, err := analysis.PackageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return all, nil
+	}
+	var out [][2]string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			return all, nil
+		}
+		clean := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(arg, "./")))
+		matched := false
+		for _, dp := range all {
+			rel, err := filepath.Rel(root, dp[0])
+			if err != nil {
+				continue
+			}
+			if filepath.ToSlash(rel) == clean || dp[1] == arg {
+				out = append(out, dp)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("no package matches %q", arg)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step on every Since, so the timing line is
+// fully deterministic under test.
+type fakeClock struct {
+	at   time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) Now() time.Time                  { return c.at }
+func (c *fakeClock) Since(t time.Time) time.Duration { return c.step }
+
+func TestTimedReportsInjectedDuration(t *testing.T) {
+	old := wall
+	wall = &fakeClock{step: 1500 * time.Millisecond}
+	defer func() { wall = old }()
+
+	var errOut strings.Builder
+	ran := false
+	if err := timed("fig4", &errOut, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("timed did not run the experiment")
+	}
+	if got, want := errOut.String(), "[fig4 done in 1.5s]\n"; got != want {
+		t.Fatalf("timing line %q, want %q", got, want)
+	}
+}
+
+func TestTimedPropagatesErrorWithoutTiming(t *testing.T) {
+	old := wall
+	wall = &fakeClock{step: time.Second}
+	defer func() { wall = old }()
+
+	var errOut strings.Builder
+	boom := errors.New("boom")
+	if err := timed("fig4", &errOut, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if errOut.Len() != 0 {
+		t.Fatalf("unexpected timing output on failure: %q", errOut.String())
+	}
+}

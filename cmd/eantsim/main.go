@@ -151,12 +151,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if n == "all" || n == "compare" || n == "trace" || n == "sweep" {
 				continue
 			}
-			start := time.Now()
-			if err := runOne(n); err != nil {
+			if err := timed(n, stderr, func() error { return runOne(n) }); err != nil {
 				fmt.Fprintf(stderr, "eantsim: %s: %v\n", n, err)
 				return 1
 			}
-			fmt.Fprintf(stderr, "[%s done in %v]\n", n, time.Since(start).Round(time.Millisecond))
 		}
 		return 0
 	}

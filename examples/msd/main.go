@@ -70,8 +70,12 @@ func run(jobs int, seed int64) error {
 		fmt.Printf("%-8s makespan %v\n", s, results[s].Makespan.Round(time.Second))
 	}
 	fmt.Println()
-	for s, pct := range savings {
-		fmt.Printf("E-Ant saving vs %-8s %+.1f%%\n", s, pct)
+	// Iterate the fixed scheduler order, not the map: map iteration is
+	// randomized, and the report should read identically on every run.
+	for _, s := range order {
+		if pct, ok := savings[s]; ok {
+			fmt.Printf("E-Ant saving vs %-8s %+.1f%%\n", s, pct)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEqPkgs are the packages where exact float comparison is flagged:
+// the E-Ant decision core and the power model, where pheromone trails and
+// energy integrals are accumulated floats and an == can silently flip on a
+// reassociated sum.
+var floatEqPkgs = map[string]bool{
+	"eant/internal/core":  true,
+	"eant/internal/power": true,
+}
+
+// FloatSum enforces the float-determinism contract in two parts. First,
+// compound float accumulation (+=, -=, *=, /=) into state that outlives an
+// unordered map iteration is flagged everywhere: float addition is not
+// associative, so a hash-seed-dependent visit order perturbs the low bits
+// and golden outputs stop replaying. Second, in internal/core and
+// internal/power, == and != between floats is flagged: pheromone and
+// energy values are long accumulation chains, and exact equality on them
+// encodes an order assumption. Deliberate exact comparisons (sentinels,
+// untouched-value checks) carry "//eant:float-eq-ok <reason>".
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc:  "flag order-sensitive float accumulation under unordered map iteration, and exact float ==/!= in internal/core and internal/power",
+	Run:  runFloatSum,
+}
+
+func runFloatSum(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if r, ok := n.(*ast.RangeStmt); ok && pass.unorderedRange(r) {
+				if _, annotated := pass.Annotation(r.Pos(), "unordered-ok"); annotated {
+					// maporder owns validating the annotation's reason.
+					return true
+				}
+				pass.checkFloatAccum(r)
+			}
+			return true
+		})
+	}
+	if floatEqPkgs[pass.Path()] {
+		pass.checkFloatEquality()
+	}
+	return nil
+}
+
+// checkFloatAccum flags compound float assignment into state declared
+// outside the unordered loop. Integer accumulation is exact and therefore
+// order-insensitive; only floats reassociate.
+func (pass *Pass) checkFloatAccum(r *ast.RangeStmt) {
+	keyObj := types.Object(nil)
+	if id, ok := r.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = pass.ObjectOf(id)
+	}
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != r && pass.unorderedRange(inner) {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if !isFloat(pass.TypeOf(lhs)) {
+				continue
+			}
+			if idx, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+				if id, ok := idx.Index.(*ast.Ident); ok && pass.ObjectOf(id) == keyObj {
+					// m2[k] op= v keyed by the loop key touches each cell
+					// exactly once per pass, so the visit order cannot
+					// reassociate any cell's sum.
+					continue
+				}
+			}
+			obj := pass.rootObject(lhs)
+			if declaredOutside(obj, r) {
+				pass.Reportf(as.Pos(), "float accumulation %s %s ... inside unordered map iteration: float addition is not associative, so the result depends on the map hash seed; sort the keys first or annotate //eant:unordered-ok", exprString(lhs), as.Tok)
+			}
+		}
+		return true
+	})
+}
+
+// checkFloatEquality flags exact ==/!= between float operands.
+func (pass *Pass) checkFloatEquality() {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			reason, annotated := pass.Annotation(be.Pos(), "float-eq-ok")
+			if annotated {
+				if reason == "" {
+					pass.Reportf(be.Pos(), "//eant:float-eq-ok annotation needs a one-line reason")
+				}
+				return true
+			}
+			pass.Reportf(be.Pos(), "exact float comparison (%s) on accumulated values: compare with a tolerance or annotate //eant:float-eq-ok with a reason", be.Op)
+			return true
+		})
+	}
+}
+
+// exprString renders a short lvalue for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(x.X) + ")"
+	default:
+		return "expression"
+	}
+}

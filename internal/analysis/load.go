@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked compilation unit plus the
+// annotation index the analyzers consult for escape hatches.
+type Package struct {
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Path is the import path analyzers scope their rules by. Fixtures may
+	// override it with a "//eantlint:path" directive in any file.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	annotations map[annKey]annotation
+}
+
+// annKey locates an annotation: one file, one line, one annotation name.
+type annKey struct {
+	File string
+	Line int
+	Name string
+}
+
+// annotation is a parsed "//eant:<name> <reason>" comment.
+type annotation struct {
+	Name   string
+	Reason string
+}
+
+// A Loader parses and type-checks packages of this module. It shares one
+// FileSet and one source importer across loads, so dependency packages are
+// type-checked at most once per Loader.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+	// Tests controls whether _test.go files are included. The lint suite
+	// analyzes non-test sources: test files may legitimately use wall-clock
+	// timeouts and ad-hoc randomness, and test-order dependence is caught
+	// dynamically by `go test -shuffle=on` in CI instead.
+	Tests bool
+}
+
+// NewLoader returns a Loader backed by the stdlib source importer, which
+// resolves imports by compiling them from source — no pre-built export
+// data and no network required.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir loads the single package in dir under import path. An
+// "//eantlint:path" directive in any file overrides path (used by test
+// fixtures to exercise path-scoped rules).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !l.Tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{
+		Dir:         dir,
+		Path:        path,
+		Fset:        l.fset,
+		Files:       files,
+		annotations: map[annKey]annotation{},
+	}
+	pkg.indexComments()
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkg.Path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}
+
+// indexComments scans every comment for "//eant:<name> <reason>"
+// annotations and "//eantlint:path <path>" directives.
+func (p *Package) indexComments() {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if rest, ok := strings.CutPrefix(text, "//eantlint:path"); ok {
+					if path := strings.TrimSpace(rest); path != "" {
+						p.Path = path
+					}
+					continue
+				}
+				rest, ok := strings.CutPrefix(text, "//eant:")
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := p.Fset.Position(c.Pos())
+				p.annotations[annKey{pos.Filename, pos.Line, name}] = annotation{
+					Name:   name,
+					Reason: strings.TrimSpace(reason),
+				}
+			}
+		}
+	}
+}
+
+// ModulePath reads the module path from root's go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s/go.mod: no module directive", root)
+}
+
+// PackageDirs walks the module at root and returns every directory holding
+// a Go package, with its import path. testdata, hidden and vendor
+// directories are skipped, matching the go tool's "./..." expansion.
+func PackageDirs(root string) ([][2]string, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				imp := modPath
+				if rel != "." {
+					imp = modPath + "/" + filepath.ToSlash(rel)
+				}
+				out = append(out, [2]string{path, imp})
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][1] < out[j][1] })
+	return out, nil
+}

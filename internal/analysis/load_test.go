@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eant/internal/analysis"
+)
+
+func TestModulePath(t *testing.T) {
+	got, err := analysis.ModulePath(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "eant" {
+		t.Fatalf("module path %q, want eant", got)
+	}
+}
+
+func TestPackageDirsCoversModuleAndSkipsTestdata(t *testing.T) {
+	dirs, err := analysis.PackageDirs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, dp := range dirs {
+		seen[dp[1]] = true
+		if strings.Contains(dp[0], "testdata") {
+			t.Errorf("testdata directory leaked into package list: %s", dp[0])
+		}
+	}
+	for _, want := range []string{"eant", "eant/cmd/eantlint", "eant/cmd/eantsim", "eant/internal/analysis", "eant/internal/core", "eant/internal/sim"} {
+		if !seen[want] {
+			t.Errorf("package list missing %s (got %d packages)", want, len(dirs))
+		}
+	}
+}
+
+func TestPathDirectiveOverridesImportPath(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "noclock_bad"), "fixture/noclock_bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "eant/internal/core" {
+		t.Fatalf("directive-overridden path %q, want eant/internal/core", pkg.Path)
+	}
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder enforces the iteration-order contract: a `for range` over a map
+// visits keys in a randomized order, so any loop whose body makes that
+// order observable — appending to a slice, writing output, feeding the
+// RNG, or last-writer-wins assignments from the loop variables — is a
+// latent nondeterminism bug (exactly the class PR 2 had to fix in the
+// greedy ablation after tests missed it). The fix is to sort the keys
+// first and range over the slice; provably order-immaterial loops may
+// instead carry a "//eant:unordered-ok <reason>" annotation.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body observes iteration order (append, output, RNG draws, loop-var assignment); sort keys or annotate //eant:unordered-ok",
+	Run:  runMapOrder,
+}
+
+// unorderedRange reports whether r iterates in map-hash order: directly
+// over a map, or over the maps.Keys/Values/All iterators.
+func (p *Pass) unorderedRange(r *ast.RangeStmt) bool {
+	if t := p.TypeOf(r.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	if call, ok := r.X.(*ast.CallExpr); ok {
+		if pkg, name, ok := p.calleePkgFunc(call); ok && pkg == "maps" {
+			switch name {
+			case "Keys", "Values", "All":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkUnorderedAnnotation handles the escape hatch for one unordered
+// range: it returns true (and stops further checks) when the loop carries
+// an //eant:unordered-ok annotation, reporting the annotation itself if
+// its mandatory one-line reason is missing.
+func (p *Pass) checkUnorderedAnnotation(r *ast.RangeStmt) bool {
+	reason, ok := p.Annotation(r.Pos(), "unordered-ok")
+	if !ok {
+		return false
+	}
+	if reason == "" {
+		p.Reportf(r.Pos(), "//eant:unordered-ok annotation needs a one-line reason")
+	}
+	return true
+}
+
+// loopVars returns the objects bound by the range clause.
+func (p *Pass) loopVars(r *ast.RangeStmt) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			r, ok := n.(*ast.RangeStmt)
+			if !ok || !pass.unorderedRange(r) {
+				return true
+			}
+			if pass.checkUnorderedAnnotation(r) {
+				return true
+			}
+			pass.checkMapRangeBody(f, r)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRangeBody walks one unordered loop body for the four
+// order-observing triggers. Nested unordered ranges are skipped — they are
+// visited and reported on their own.
+func (pass *Pass) checkMapRangeBody(f *ast.File, r *ast.RangeStmt) {
+	vars := pass.loopVars(r)
+	fn := funcFor(f, r)
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != r && pass.unorderedRange(inner) {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			pass.checkMapRangeCall(f, fn, r, x)
+		case *ast.AssignStmt:
+			if x.Tok != token.ASSIGN {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+					// Keyed writes (m2[k] = v) land on distinct cells per
+					// iteration; the visit order is not observable.
+					continue
+				}
+				obj := pass.rootObject(lhs)
+				if !declaredOutside(obj, r) {
+					continue
+				}
+				if i < len(x.Rhs) && pass.isAppendCall(x.Rhs[i]) {
+					// s = append(s, ...) is the append trigger's domain,
+					// including its collect-then-sort suppression.
+					continue
+				}
+				if i < len(x.Rhs) && pass.usesAny(x.Rhs[i], vars) {
+					pass.Reportf(x.Pos(), "assignment to %s from a map-range loop variable: last writer wins in randomized order; sort the keys first or annotate //eant:unordered-ok", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeCall classifies one call inside an unordered loop body:
+// append-to-outer-slice (unless the slice is sorted after the loop),
+// output writes, and RNG draws.
+func (pass *Pass) checkMapRangeCall(f *ast.File, fn *ast.FuncDecl, r *ast.RangeStmt, call *ast.CallExpr) {
+	// append to a slice that outlives the loop.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			obj := pass.rootObject(call.Args[0])
+			if declaredOutside(obj, r) && !pass.sortedAfter(fn, r, obj) {
+				pass.Reportf(call.Pos(), "append to %s inside unordered map iteration: element order depends on the map hash seed; sort the keys first or annotate //eant:unordered-ok", obj.Name())
+			}
+			return
+		}
+	}
+
+	// Output written during iteration.
+	if pkg, name, ok := pass.calleePkgFunc(call); ok && pkg == "fmt" {
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			pass.Reportf(call.Pos(), "fmt.%s inside unordered map iteration: output line order depends on the map hash seed; sort the keys first or annotate //eant:unordered-ok", name)
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if name := sel.Sel.Name; len(name) >= 5 && name[:5] == "Write" {
+			if _, isMethod := pass.Info.Selections[sel]; isMethod {
+				pass.Reportf(call.Pos(), "%s call inside unordered map iteration: write order depends on the map hash seed; sort the keys first or annotate //eant:unordered-ok", name)
+				return
+			}
+		}
+	}
+
+	// RNG draws: a method on sim.RNG, or an RNG handed to a callee.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if namedFrom(pass.TypeOf(sel.X), "eant/internal/sim", "RNG") {
+			pass.Reportf(call.Pos(), "RNG draw inside unordered map iteration: consumption order depends on the map hash seed; sort the keys first or annotate //eant:unordered-ok")
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		if namedFrom(pass.TypeOf(arg), "eant/internal/sim", "RNG") {
+			pass.Reportf(call.Pos(), "RNG passed to a callee inside unordered map iteration: draw order depends on the map hash seed; sort the keys first or annotate //eant:unordered-ok")
+			return
+		}
+	}
+}
+
+// isAppendCall reports whether e is a call to the append builtin.
+func (p *Pass) isAppendCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// usesAny reports whether e references any of the given objects.
+func (p *Pass) usesAny(e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[p.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after
+// the loop within the same function — the canonical collect-then-sort
+// pattern, which erases iteration order before anyone observes it.
+func (pass *Pass) sortedAfter(fn *ast.FuncDecl, r *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil || fn.Body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < r.End() {
+			return true
+		}
+		if pkg, _, ok := pass.calleePkgFunc(call); !ok || (pkg != "sort" && pkg != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if pass.usesAny(arg, map[types.Object]bool{obj: true}) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import "strconv"
+
+// rngExempt is the one package allowed to touch the raw generators: it
+// defines sim.RNG, the seeded, forkable stream every subsystem draws from.
+var rngExempt = map[string]bool{
+	"eant/internal/sim": true,
+}
+
+// bannedRand are the import paths that introduce randomness outside the
+// simulator's seeded streams. crypto/rand is banned outright: it is
+// nondeterministic by construction, so a single draw breaks bit-identical
+// replay.
+var bannedRand = map[string]string{
+	"math/rand":    "use sim.RNG (forked from the run seed) instead",
+	"math/rand/v2": "use sim.RNG (forked from the run seed) instead",
+	"crypto/rand":  "nondeterministic by construction; the simulator must replay bit-identically",
+}
+
+// RngOnly enforces the single-RNG contract: outside internal/sim, no
+// package may import math/rand, math/rand/v2 or crypto/rand. All
+// randomness flows through sim.RNG so that one master seed determines
+// every stream and golden outputs replay bit-for-bit.
+var RngOnly = &Analyzer{
+	Name: "rngonly",
+	Doc:  "forbid math/rand and crypto/rand imports outside internal/sim; randomness must flow through sim.RNG",
+	Run:  runRngOnly,
+}
+
+func runRngOnly(pass *Pass) error {
+	if rngExempt[pass.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			why, banned := bannedRand[path]
+			if !banned {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "import of %s outside internal/sim: %s", path, why)
+		}
+	}
+	return nil
+}

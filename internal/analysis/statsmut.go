@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// machineMutators are the cluster.Machine methods that change slot
+// occupancy or availability — exactly the transitions the driver's
+// incremental aggregates (internal/mapreduce/aggregates.go) mirror.
+var machineMutators = map[string]bool{
+	"AcquireMap":    true,
+	"AcquireReduce": true,
+	"ReleaseMap":    true,
+	"ReleaseReduce": true,
+	"Fail":          true,
+	"Repair":        true,
+	"Sleep":         true,
+	"Wake":          true,
+}
+
+// aggregateEntryPoints are the driver functions allowed to invoke machine
+// mutators: each pairs the mutation with the matching noteSlotChange /
+// reclassify bookkeeping, keeping the O(1) aggregates bit-identical to the
+// scans they replaced.
+var aggregateEntryPoints = map[string]bool{
+	"startMap":           true,
+	"startReduce":        true,
+	"beginReduceCompute": true,
+	"completeTask":       true,
+	"detachRunning":      true,
+	"maybeSleep":         true,
+	"wakeIfNeeded":       true,
+	"crashMachine":       true,
+	"recoverMachine":     true,
+}
+
+const (
+	clusterPkg   = "eant/internal/cluster"
+	mapreducePkg = "eant/internal/mapreduce"
+)
+
+// StatsMut enforces the aggregate-coherence contract from the O(1)
+// heartbeat refactor: cluster.Machine slot/availability state may only be
+// mutated through the driver entry points that update the incremental
+// aggregates in the same event, and a shared mapreduce.Config must not be
+// written after the driver captured it. A bare m.AcquireMap in a scheduler
+// would silently desynchronize byClass/freeReduceByType from ground truth
+// — a corruption only the test-only invariant checker would ever notice.
+var StatsMut = &Analyzer{
+	Name: "statsmut",
+	Doc:  "restrict cluster.Machine slot/availability mutation to the driver's aggregate-updating entry points, and forbid writes through shared mapreduce.Config",
+	Run:  runStatsMut,
+}
+
+func runStatsMut(pass *Pass) error {
+	if pass.Path() == clusterPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			pass.checkMachineMutation(fn)
+			pass.checkConfigMutation(fn)
+		}
+	}
+	return nil
+}
+
+// checkMachineMutation flags machineMutators calls outside the aggregate
+// entry points.
+func (pass *Pass) checkMachineMutation(fn *ast.FuncDecl) {
+	if pass.Path() == mapreducePkg && aggregateEntryPoints[fn.Name.Name] {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !machineMutators[sel.Sel.Name] {
+			return true
+		}
+		if !namedFrom(pass.TypeOf(sel.X), clusterPkg, "Machine") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "cluster.Machine.%s outside a driver aggregate entry point: slot/availability state would desynchronize from the incremental aggregates; route the transition through the driver (aggregates.go entry points)", sel.Sel.Name)
+		return true
+	})
+}
+
+// checkConfigMutation flags field writes into a mapreduce.Config reached
+// through shared state — a pointer, or a field of some longer-lived struct
+// (d.cfg.X = ...). Building up a local Config value before NewDriver is
+// fine; Config's own methods (setDefaults) are fine.
+func (pass *Pass) checkConfigMutation(fn *ast.FuncDecl) {
+	if pass.receiverIsConfig(fn) {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			base := sel.X
+			if !namedFrom(pass.TypeOf(base), mapreducePkg, "Config") {
+				continue
+			}
+			_, isIdent := base.(*ast.Ident)
+			_, isPtr := pass.TypeOf(base).(*types.Pointer)
+			if isIdent && !isPtr {
+				// A local Config value: mutations stay private to this
+				// copy until it is handed to NewDriver.
+				continue
+			}
+			pass.Reportf(as.Pos(), "write to shared mapreduce.Config field %s: the driver captured its Config at construction and derived aggregates from it; mutate a local copy before NewDriver instead", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// receiverIsConfig reports whether fn is a method on (*)Config from the
+// mapreduce package.
+func (pass *Pass) receiverIsConfig(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	return namedFrom(pass.TypeOf(fn.Recv.List[0].Type), mapreducePkg, "Config")
+}

@@ -1,0 +1,51 @@
+// Fixture: float accumulation into state that outlives an unordered map
+// iteration fires; integer sums, per-key writes and justified
+// annotations do not.
+package floatsumaccum
+
+type tally struct{ joules float64 }
+
+func scalarSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation total \+=`
+	}
+	return total
+}
+
+func fieldSum(m map[string]float64, t *tally) {
+	for _, v := range m {
+		t.joules -= v // want `float accumulation t.joules -=`
+	}
+}
+
+func keyedAccum(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+func keyedScale(m map[string]float64, n float64) {
+	for k := range m {
+		m[k] /= n
+	}
+}
+
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func annotatedSum(m map[string]float64) float64 {
+	var total float64
+	//eant:unordered-ok downstream comparisons use a relative tolerance, not goldens
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

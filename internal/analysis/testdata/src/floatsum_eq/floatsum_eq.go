@@ -1,0 +1,27 @@
+//eantlint:path eant/internal/core
+
+// Fixture: exact float ==/!= fires in the core package; annotated
+// sentinels, ordered comparisons and integer equality do not.
+package floatsumeq
+
+func eq(a, b float64) bool {
+	return a == b // want `exact float comparison`
+}
+
+func neq(a, b float64) bool {
+	return a != b // want `exact float comparison`
+}
+
+func annotated(dep float64) bool {
+	//eant:float-eq-ok 0 is an exact sentinel assigned, never accumulated
+	return dep != 0
+}
+
+func annotatedNoReason(a, b float64) bool {
+	//eant:float-eq-ok
+	return a == b // want `needs a one-line reason`
+}
+
+func ints(a, b int) bool { return a == b }
+
+func ordered(a, b float64) bool { return a < b }

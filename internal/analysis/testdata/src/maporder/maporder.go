@@ -1,0 +1,106 @@
+// Fixture: map iterations whose bodies observe iteration order fire;
+// the collect-then-sort idiom, keyed writes, and justified annotations
+// do not.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"maps"
+	"sort"
+
+	"eant/internal/sim"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside unordered map iteration`
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printsDuring(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside unordered map iteration`
+	}
+}
+
+func writesDuring(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `WriteString call inside unordered map iteration`
+	}
+}
+
+func drawsRNG(m map[string]int, g *sim.RNG) {
+	for range m {
+		g.Float64() // want `RNG draw inside unordered map iteration`
+	}
+}
+
+func feedsRNG(m map[string]int, g *sim.RNG) {
+	for range m {
+		draw(g) // want `RNG passed to a callee inside unordered map iteration`
+	}
+}
+
+func draw(g *sim.RNG) { g.Float64() }
+
+func lastWriterWins(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want `assignment to last from a map-range loop variable`
+	}
+	return last
+}
+
+func keyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int)
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func annotatedOK(m map[string]int) []string {
+	var keys []string
+	//eant:unordered-ok caller treats the result as a set and sorts before rendering
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func annotatedNoReason(m map[string]int) []string {
+	var keys []string
+	//eant:unordered-ok
+	for k := range m { // want `needs a one-line reason`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func iteratorRange(m map[string]int) []string {
+	var keys []string
+	for k := range maps.Keys(m) {
+		keys = append(keys, k) // want `append to keys inside unordered map iteration`
+	}
+	return keys
+}

@@ -1,0 +1,20 @@
+//eantlint:path eant/internal/core
+
+// Fixture: wall-clock reads inside an internal simulation package fire;
+// pure time.Duration arithmetic does not.
+package noclockbad
+
+import "time"
+
+func observes(t0 time.Time) {
+	time.Now()        // want `wall-clock call time.Now in simulation package`
+	time.Since(t0)    // want `wall-clock call time.Since in simulation package`
+	time.Sleep(0)     // want `wall-clock call time.Sleep in simulation package`
+	time.After(0)     // want `wall-clock call time.After in simulation package`
+	time.NewTimer(0)  // want `wall-clock call time.NewTimer in simulation package`
+	time.NewTicker(1) // want `wall-clock call time.NewTicker in simulation package`
+}
+
+func arithmeticOnly() time.Duration {
+	return 3 * time.Second / 2
+}

@@ -1,0 +1,8 @@
+//eantlint:path eant/cmd/eantfoo
+
+// Fixture: cmd/ packages are process entry points and exempt wholesale.
+package noclockcmd
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,8 @@
+//eantlint:path eant/internal/parallel
+
+// Fixture: the parallel runner's plumbing is on the wall-clock allowlist.
+package noclockparallel
+
+import "time"
+
+func heartbeat() time.Time { return time.Now() }

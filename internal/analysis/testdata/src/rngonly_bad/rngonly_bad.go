@@ -1,0 +1,9 @@
+// Fixture: every banned randomness import outside internal/sim fires.
+package rngonlybad
+
+import (
+	_ "crypto/rand"       // want `import of crypto/rand outside internal/sim`
+	_ "eant/internal/sim" // importing the wrapper is the sanctioned route
+	_ "math/rand"         // want `import of math/rand outside internal/sim`
+	_ "math/rand/v2"      // want `import of math/rand/v2 outside internal/sim`
+)

@@ -1,0 +1,7 @@
+//eantlint:path eant/internal/sim
+
+// Fixture: internal/sim itself is the one package allowed to touch the
+// raw generator.
+package rngonlysim
+
+import _ "math/rand"

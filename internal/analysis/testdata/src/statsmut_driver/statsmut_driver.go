@@ -1,0 +1,42 @@
+//eantlint:path eant/internal/mapreduce
+
+// Fixture: inside the driver package, machine mutators are legal only in
+// the aggregate entry points, and Config writes are legal only on a local
+// value or through Config's own methods.
+package statsmutdriver
+
+import "eant/internal/cluster"
+
+type Config struct{ Slowstart float64 }
+
+type Driver struct{ cfg Config }
+
+func (d *Driver) startMap(m *cluster.Machine) {
+	m.AcquireMap(0.5)
+}
+
+func (d *Driver) offerDirect(m *cluster.Machine) {
+	m.AcquireMap(0.5) // want `cluster\.Machine\.AcquireMap outside a driver aggregate entry point`
+}
+
+func (d *Driver) panicRepair(m *cluster.Machine) {
+	m.Repair() // want `cluster\.Machine\.Repair outside a driver aggregate entry point`
+}
+
+func buildConfig() Config {
+	cfg := Config{}
+	cfg.Slowstart = 0.05
+	return cfg
+}
+
+func (d *Driver) retune() {
+	d.cfg.Slowstart = 0.1 // want `write to shared mapreduce\.Config field Slowstart`
+}
+
+func retuneByPtr(cfg *Config) {
+	cfg.Slowstart = 0.1 // want `write to shared mapreduce\.Config field Slowstart`
+}
+
+func (c *Config) setDefaults() {
+	c.Slowstart = 0.05
+}

@@ -1,0 +1,19 @@
+//eantlint:path eant/internal/sched
+
+// Fixture: outside the driver package, entry-point names grant no
+// license — schedulers observe machines, never mutate them.
+package statsmutsched
+
+import "eant/internal/cluster"
+
+func wakeDirectly(m *cluster.Machine) {
+	m.Wake() // want `cluster\.Machine\.Wake outside a driver aggregate entry point`
+}
+
+func startMap(m *cluster.Machine) {
+	m.AcquireMap(1) // want `cluster\.Machine\.AcquireMap outside a driver aggregate entry point`
+}
+
+func observeOnly(m *cluster.Machine) int {
+	return m.FreeMapSlots() + m.RunningMap()
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// importedPkg resolves a qualified-identifier base (the "time" in
+// time.Now) to the imported package's path, or "".
+func (p *Pass) importedPkg(e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.ObjectOf(id).(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// calleePkgFunc splits a call on a package-qualified function into
+// (package path, function name); ok is false for method calls, locals and
+// builtins.
+func (p *Pass) calleePkgFunc(call *ast.CallExpr) (pkg, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	path := p.importedPkg(sel.X)
+	if path == "" {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// rootObject walks an lvalue (ident, selector chain, index, deref,
+// parens) down to the object of its base identifier, or nil.
+func (p *Pass) rootObject(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return p.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj is declared outside node — i.e. the
+// object outlives one iteration, so writes to it through an unordered loop
+// are order-observable. Package-level objects (pos inside no node) count
+// as outside; objects with no position (builtins) do not.
+func declaredOutside(obj types.Object, node ast.Node) bool {
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() < node.Pos() || obj.Pos() >= node.End()
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// namedFrom reports whether t (after stripping pointers) is the named type
+// pkgSuffix.name, matching the package by import-path suffix so fixture
+// packages loaded under fake paths still match.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// funcFor returns the FuncDecl enclosing pos in file, or nil.
+func funcFor(file *ast.File, pos ast.Node) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos.Pos() && pos.End() <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -378,6 +378,7 @@ func (e *EAnt) buildIndex(ctx *mapreduce.Context, c *colony) *hostIndex {
 	}
 	row := c.row
 	sort.Slice(ids, func(a, b int) bool {
+		//eant:float-eq-ok sort tie-break: exact equality routes ties to the deterministic ID fallback
 		if row[ids[a]] != row[ids[b]] {
 			return row[ids[a]] > row[ids[b]]
 		}

@@ -386,6 +386,7 @@ func (mx *Matrix) UpdateWithAvailability(typeGroups [][]int, unavailable []bool)
 			if c.hasDelta {
 				dep = c.delta[m]
 			}
+			//eant:float-eq-ok 0 is an exact "no deposit" sentinel assigned above, never the result of accumulation
 			if mx.p.NegativeFeedback && dep != 0 {
 				// Eq. 6: competitors' rewards on this machine push this
 				// colony away from it. Only colonies with *different*

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"sort"
 	"time"
 
 	"eant/internal/workload"
@@ -207,15 +208,31 @@ func (s *Stats) CompletedByTypeKind(machineType string, kind TaskKind) int {
 	return n
 }
 
-// EnergyByApp sums est/true energy over machine types for one app.
+// EnergyByApp sums est/true energy over machine types for one app. The
+// keys are sorted before summing: float addition is not associative, so
+// accumulating in map-hash order would perturb the low bits from run to
+// run (exactly the class of nondeterminism eantlint's floatsum rule
+// exists to catch).
 func (s *Stats) EnergyByApp(app workload.App) EnergyPair {
-	var out EnergyPair
-	for k, p := range s.Energy {
+	keys := make([]AppKindKey, 0, len(s.Energy))
+	for k := range s.Energy {
 		if k.App == app {
-			out.EstJoules += p.EstJoules
-			out.TrueJoules += p.TrueJoules
-			out.Tasks += p.Tasks
+			keys = append(keys, k)
 		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.MachineType != b.MachineType {
+			return a.MachineType < b.MachineType
+		}
+		return a.Kind < b.Kind
+	})
+	var out EnergyPair
+	for _, k := range keys {
+		p := s.Energy[k]
+		out.EstJoules += p.EstJoules
+		out.TrueJoules += p.TrueJoules
+		out.Tasks += p.Tasks
 	}
 	return out
 }
