@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt check bench-smoke
+.PHONY: all build test race lint vet fmt check bench-smoke cover
 
 all: check
 
@@ -32,3 +32,9 @@ check: fmt vet build lint test
 
 bench-smoke:
 	$(GO) test -run xxx -bench SimulatorThroughput -benchtime=1x -benchmem .
+	$(GO) test -run xxx -bench BenchmarkDisabledProbe -benchtime=1000x -benchmem ./internal/probe
+
+# Per-package statement coverage for the observability and analysis
+# packages; CI enforces floors on these (see .github/workflows/ci.yml).
+cover:
+	$(GO) test -cover ./internal/probe ./internal/trace ./internal/metrics

@@ -20,6 +20,14 @@
 //	            identical either way)
 //	-cpuprofile F  write a pprof CPU profile of the experiment to F
 //	-memprofile F  write a pprof heap profile (after the run) to F
+//	-probe-interval N  enable in-engine probes, sampling machines every N
+//	            heartbeats; output stays byte-identical (golden-enforced)
+//	-probe-trails      record pheromone snapshots at every control tick
+//	-trace F    stream probe events as JSONL to F ('trace' experiment)
+//	-timeline F write a Chrome trace-event / Perfetto timeline to F
+//	            ('trace' experiment)
+//	-probe-report F  write the probe histogram report as JSON to F
+//	            ('trace' experiment)
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"eant/internal/mapreduce"
 	"eant/internal/noise"
 	"eant/internal/parallel"
+	"eant/internal/probe"
 	"eant/internal/sim"
 	"eant/internal/tabwrite"
 	"eant/internal/trace"
@@ -59,6 +68,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("parallel", 0, "worker cap for experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+	probeInterval := fs.Int("probe-interval", 0, "sample every machine's utilization/energy/slots every N heartbeats (0 = off); enables in-engine probes for any experiment without changing its output")
+	probeTrails := fs.Bool("probe-trails", false, "record per-control-tick pheromone-matrix snapshots (enables probes)")
+	traceFile := fs.String("trace", "", "stream probe events as JSONL to this file ('trace' experiment only)")
+	timelineFile := fs.String("timeline", "", "write a Chrome trace-event / Perfetto timeline to this file ('trace' experiment only)")
+	reportFile := fs.String("probe-report", "", "write the probe's histogram report as JSON to this file ('trace' experiment only)")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: eantsim <experiment> [flags]")
 		fmt.Fprintln(stderr, "experiments:", allNames())
@@ -73,6 +87,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	parallel.SetDefaultWorkers(*workers)
+
+	// Probes observe without perturbing: any experiment may run with them
+	// on, and its table output stays byte-identical (golden-enforced).
+	// Always reset afterwards — the test harness calls run() repeatedly in
+	// one process.
+	if *probeInterval > 0 || *probeTrails {
+		experiments.SetCampaignProbe(&probe.Config{SampleEvery: *probeInterval, Trails: *probeTrails})
+		defer experiments.SetCampaignProbe(nil)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -126,11 +149,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if name == "trace" {
-		if err := emitTrace(stdout, *jobs, *seed, *schedName, *format); err != nil {
+		sinks := probeSinks{
+			Interval: *probeInterval,
+			Trails:   *probeTrails,
+			Stream:   *traceFile,
+			Timeline: *timelineFile,
+			Report:   *reportFile,
+		}
+		if err := emitTrace(stdout, *jobs, *seed, *schedName, *format, sinks); err != nil {
 			fmt.Fprintf(stderr, "eantsim: trace: %v\n", err)
 			return 1
 		}
 		return 0
+	}
+	if *traceFile != "" || *timelineFile != "" || *reportFile != "" {
+		fmt.Fprintf(stderr, "eantsim: -trace/-timeline/-probe-report only apply to the 'trace' experiment (it runs a single campaign; sweeps would interleave streams)\n")
+		return 2
 	}
 
 	runOne := func(name string) error {
@@ -349,8 +383,23 @@ func sweepTable(jobs int, seed int64) (*tabwrite.Table, error) {
 	return t, nil
 }
 
-// emitTrace runs one MSD campaign and streams it in the chosen format.
-func emitTrace(w io.Writer, jobs int, seed int64, schedName, format string) error {
+// probeSinks are the live-observability outputs of the 'trace' experiment:
+// a JSONL event stream, a Perfetto timeline, and a histogram report.
+type probeSinks struct {
+	Interval int
+	Trails   bool
+	Stream   string
+	Timeline string
+	Report   string
+}
+
+func (s probeSinks) enabled() bool {
+	return s.Stream != "" || s.Timeline != "" || s.Report != ""
+}
+
+// emitTrace runs one MSD campaign and streams it in the chosen format,
+// optionally recording a live probe into the configured sinks.
+func emitTrace(w io.Writer, jobs int, seed int64, schedName, format string, sinks probeSinks) error {
 	msd, err := workload.GenerateMSD(workload.MSDConfig{
 		Jobs: jobs, Scale: experiments.ScaleDown, MeanInterarrival: 45 * time.Second,
 	}, sim.NewRNG(seed).Fork("experiments"))
@@ -362,6 +411,28 @@ func emitTrace(w io.Writer, jobs int, seed int64, schedName, format string) erro
 	cfg.Seed = seed
 	cfg.Noise = noise.Default()
 	cfg.KeepTaskRecords = format != "summary"
+
+	var p *probe.Probe
+	if sinks.enabled() {
+		pcfg := probe.Config{SampleEvery: sinks.Interval, Trails: sinks.Trails}
+		if pcfg.SampleEvery <= 0 {
+			pcfg.SampleEvery = 1 // live sinks imply sampling every heartbeat
+		}
+		if sinks.Stream != "" {
+			f, err := os.Create(sinks.Stream)
+			if err != nil {
+				return fmt.Errorf("-trace: %w", err)
+			}
+			defer f.Close()
+			pcfg.Stream = f
+		}
+		p, err = probe.New(pcfg)
+		if err != nil {
+			return err
+		}
+		cfg.Probe = p
+	}
+
 	stats, err := experiments.Campaign{
 		Cluster: cluster.Testbed(),
 		Sched:   experiments.SchedulerName(schedName),
@@ -371,6 +442,35 @@ func emitTrace(w io.Writer, jobs int, seed int64, schedName, format string) erro
 	}.Run()
 	if err != nil {
 		return err
+	}
+	if err := p.Err(); err != nil {
+		return err
+	}
+	if sinks.Timeline != "" {
+		f, err := os.Create(sinks.Timeline)
+		if err != nil {
+			return fmt.Errorf("-timeline: %w", err)
+		}
+		if err := probe.WriteTimeline(f, p.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-timeline: %w", err)
+		}
+	}
+	if sinks.Report != "" {
+		f, err := os.Create(sinks.Report)
+		if err != nil {
+			return fmt.Errorf("-probe-report: %w", err)
+		}
+		if err := p.Report().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-probe-report: %w", err)
+		}
 	}
 	switch format {
 	case "jsonl":

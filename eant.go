@@ -32,6 +32,7 @@ package eant
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"eant/internal/cluster"
@@ -40,6 +41,7 @@ import (
 	"eant/internal/mapreduce"
 	"eant/internal/noise"
 	"eant/internal/parallel"
+	"eant/internal/probe"
 	"eant/internal/sched"
 	"eant/internal/sim"
 	"eant/internal/workload"
@@ -170,6 +172,44 @@ const (
 	FaultRecover = fault.Recover
 )
 
+// Probe is a live observability recorder attached to a run: structured
+// decision events (offer → draw → assignment), pheromone snapshots,
+// machine time series, and fixed-boundary histograms, all on the
+// simulated clock. Probes are pure observers — an instrumented run
+// produces bit-identical Stats to an uninstrumented one.
+type Probe = probe.Probe
+
+// ProbeConfig parameterizes a Probe; see NewProbe.
+type ProbeConfig = probe.Config
+
+// ProbeEvent is one recorded observation.
+type ProbeEvent = probe.Event
+
+// ProbeReport aggregates a probe's histograms; reports from a sweep merge
+// with MergeProbeReports.
+type ProbeReport = probe.Report
+
+// ProbeHistogram is a fixed-boundary histogram with deterministic
+// quantiles.
+type ProbeHistogram = probe.Histogram
+
+// NewProbe builds an observability probe. Attach it via RunSpec.Probe; a
+// probe serves exactly one run (build a fresh one per RunSpec in sweeps).
+func NewProbe(cfg ProbeConfig) (*Probe, error) { return probe.New(cfg) }
+
+// MergeProbeReports folds per-run probe reports into one aggregate, in
+// argument (submission) order — the order RunMany returns results — so
+// sweep aggregation is reproducible regardless of worker interleaving.
+func MergeProbeReports(reports ...ProbeReport) (ProbeReport, error) {
+	return probe.MergeReports(reports...)
+}
+
+// WriteTimeline renders probe events as a Chrome trace-event JSON document
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteTimeline(w io.Writer, events []ProbeEvent) error {
+	return probe.WriteTimeline(w, events)
+}
+
 // RunSpec configures one simulated campaign.
 type RunSpec struct {
 	// Cluster to run on; required.
@@ -203,6 +243,10 @@ type RunSpec struct {
 	// blacklists per FaultConfig. Nil (or the zero value) is a strict
 	// no-op.
 	Faults *FaultConfig
+	// Probe, when non-nil, records live observability events for this
+	// run. The probe must be freshly built (NewProbe) and not shared
+	// across runs. Nil disables instrumentation at zero cost.
+	Probe *Probe
 }
 
 // Consolidation configures server power management; see
@@ -284,6 +328,7 @@ func Run(spec RunSpec) (*Result, error) {
 	if spec.Faults != nil {
 		cfg.Fault = *spec.Faults
 	}
+	cfg.Probe = spec.Probe
 
 	driver, err := mapreduce.NewDriver(spec.Cluster, s, cfg)
 	if err != nil {

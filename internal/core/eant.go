@@ -443,7 +443,15 @@ func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidat
 	for attempt := 0; attempt < draws; attempt++ {
 		i := e.pickIndex(ctx, weights, avail)
 		j := candidates[i]
-		if e.accepts(ctx, j, key(j, kind), m) {
+		ok := e.accepts(ctx, j, key(j, kind), m)
+		// The probe is a pure observer of the decision: Tau is a plain
+		// read (the colony already exists — weight() touched it above),
+		// and no randomness is drawn, so instrumented runs replay
+		// bit-identically.
+		if pr := ctx.Probe(); pr != nil {
+			pr.Draw(ctx.Now(), m.ID, j.Spec.ID, int8(kind), e.mx.Tau(key(j, kind), m.ID), weights[i], ok)
+		}
+		if ok {
 			return j
 		}
 		// Mask the declined colony and redraw: m may still be a good host
@@ -586,6 +594,13 @@ func (e *EAnt) OnControlTick(ctx *mapreduce.Context) {
 				At:  ctx.Now(),
 				Row: e.mx.Row(k),
 			})
+		}
+	}
+	// Pheromone-matrix snapshot for the observability layer: one row per
+	// colony, in the matrix's insertion order (deterministic).
+	if pr := ctx.Probe(); pr.TrailsEnabled() {
+		for _, k := range e.mx.Keys() {
+			pr.TrailRow(ctx.Now(), k.JobID, int8(k.Kind), k.App.String(), e.mx.Row(k))
 		}
 	}
 }

@@ -14,12 +14,14 @@ package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"eant/internal/cluster"
 	"eant/internal/core"
 	"eant/internal/mapreduce"
 	"eant/internal/noise"
+	"eant/internal/probe"
 	"eant/internal/sched"
 	"eant/internal/sim"
 	"eant/internal/workload"
@@ -94,6 +96,29 @@ func defaultDriverConfig() mapreduce.Config {
 	return cfg
 }
 
+// campaignProbe, when set, attaches a freshly-built probe to every
+// campaign that does not already carry one. Per-campaign instances keep
+// parallel sweeps race-free: a probe is single-threaded by contract.
+var campaignProbe atomic.Pointer[probe.Config]
+
+// SetCampaignProbe installs an observability-probe template applied to
+// every subsequently started Campaign (nil uninstalls it). Each campaign
+// gets its own probe instance built from the template; the Stream sink is
+// dropped because experiment sweeps fan campaigns out across workers,
+// where interleaved per-run streams would be nondeterministic. A probe set
+// explicitly on Campaign.Config.Probe always wins. The probes are pure
+// observers, so experiment output is byte-identical with or without them
+// (golden-enforced).
+func SetCampaignProbe(cfg *probe.Config) {
+	if cfg == nil {
+		campaignProbe.Store(nil)
+		return
+	}
+	cp := *cfg
+	cp.Stream = nil
+	campaignProbe.Store(&cp)
+}
+
 // Run executes the campaign and returns its statistics.
 func (c Campaign) Run() (*mapreduce.Stats, error) {
 	s := c.Instance
@@ -104,7 +129,17 @@ func (c Campaign) Run() (*mapreduce.Stats, error) {
 			return nil, err
 		}
 	}
-	d, err := mapreduce.NewDriver(c.Cluster, s, c.Config)
+	cfg := c.Config
+	if cfg.Probe == nil {
+		if tmpl := campaignProbe.Load(); tmpl != nil {
+			p, err := probe.New(*tmpl)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: campaign probe: %w", err)
+			}
+			cfg.Probe = p
+		}
+	}
+	d, err := mapreduce.NewDriver(c.Cluster, s, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}

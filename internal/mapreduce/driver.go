@@ -10,6 +10,7 @@ import (
 	"eant/internal/hdfs"
 	"eant/internal/noise"
 	"eant/internal/power"
+	"eant/internal/probe"
 	"eant/internal/sim"
 	"eant/internal/workload"
 )
@@ -54,6 +55,13 @@ type Config struct {
 	// value is a strict no-op: nothing is scheduled and no random draws
 	// are made, so disabled runs are byte-identical to pre-fault builds.
 	Fault fault.Config
+	// Probe, when non-nil, receives live observability events (offers,
+	// draws, assignments, completions, control ticks, machine samples).
+	// The probe is a pure observer: it draws no randomness, schedules no
+	// events and never syncs the power meter, so instrumented runs produce
+	// bit-identical Stats to uninstrumented ones (golden-enforced). Nil
+	// disables all instrumentation at zero cost.
+	Probe *probe.Probe
 }
 
 // PowerMgmt configures server consolidation, modeled after the covering-
@@ -157,6 +165,10 @@ type Driver struct {
 	noise   *noise.Model
 	local   *sim.RNG // locality-forcing stream
 	ctx     *Context
+	// probe is the optional observability recorder; nil when disabled.
+	// Call sites guard with an explicit nil check so the disabled hot
+	// path computes no event arguments and allocates nothing.
+	probe *probe.Probe
 
 	jobs             []*Job
 	active           []*Job
@@ -237,6 +249,7 @@ func NewDriver(c *cluster.Cluster, sched Scheduler, cfg Config) (*Driver, error)
 		stats:            newStats(sched.Name()),
 		intervalAssign:   make(map[int]map[int]int),
 		faults:           inj,
+		probe:            cfg.Probe,
 	}
 	if obs, ok := sched.(SlotObserver); ok {
 		d.slotObs = obs
@@ -349,6 +362,9 @@ func (d *Driver) submit(j *Job) {
 	j.Submitted = d.engine.Now()
 	d.active = append(d.active, j)
 	d.unsubmit--
+	if d.probe != nil {
+		d.probe.JobSubmit(j.Submitted, j.Spec.ID, j.Spec.App.String(), len(j.Maps), len(j.Reduces))
+	}
 	d.notePending(j, MapTask, j.PendingMaps())
 	d.notePending(j, ReduceTask, j.PendingReduces())
 	d.syncReduceGate(j)
@@ -382,6 +398,9 @@ func (d *Driver) serveHeartbeats() {
 		}
 		for m.FreeMapSlots() > 0 {
 			d.stats.MapOffers++
+			if d.probe != nil {
+				d.probe.Offer(d.engine.Now(), m.ID, int8(MapTask), d.agg.pendingMaps)
+			}
 			t := d.sched.AssignMap(d.ctx, m)
 			if t == nil {
 				break
@@ -390,12 +409,33 @@ func (d *Driver) serveHeartbeats() {
 		}
 		for m.FreeReduceSlots() > 0 {
 			d.stats.ReduceOffers++
+			if d.probe != nil {
+				d.probe.Offer(d.engine.Now(), m.ID, int8(ReduceTask), d.agg.readyPendingReduces)
+			}
 			t := d.sched.AssignReduce(d.ctx, m)
 			if t == nil {
 				break
 			}
 			d.startReduce(t, m)
 		}
+	}
+	// Machine sampling piggybacks on the heartbeat sweep: no extra engine
+	// events, so the (at, seq) order of the run is untouched.
+	if d.probe != nil && d.probe.ShouldSample() {
+		d.sampleMachines()
+	}
+}
+
+// sampleMachines records one utilization/energy/slot sample per machine,
+// in machine-ID order. Energy is read up to each machine's last meter
+// sync — the probe must never force a sync, because splitting the meter's
+// float-integration intervals would drift TotalJoules' low bits and break
+// the bit-identical-Stats contract.
+func (d *Driver) sampleMachines() {
+	now := d.engine.Now()
+	for _, m := range d.cluster.Machines() {
+		d.probe.Sample(now, m.ID, m.Spec.Name, m.Utilization(),
+			d.meter.MachineJoules(m.ID), m.FreeMapSlots(), m.FreeReduceSlots())
 	}
 }
 
@@ -411,6 +451,9 @@ func (d *Driver) maybeSleep(m *cluster.Machine) {
 	d.meter.Sync(m, d.engine.Now())
 	m.Sleep(d.cfg.Power.SleepWatts)
 	d.stats.Sleeps++
+	if d.probe != nil {
+		d.probe.MachineState(d.engine.Now(), m.ID, "sleep")
+	}
 	d.reclassify(m)
 	d.mutated("sleep")
 }
@@ -424,6 +467,9 @@ func (d *Driver) wakeIfNeeded(m *cluster.Machine) float64 {
 	d.meter.Sync(m, d.engine.Now())
 	m.Wake()
 	d.stats.Wakes++
+	if d.probe != nil {
+		d.probe.MachineState(d.engine.Now(), m.ID, "wake")
+	}
 	d.reclassify(m)
 	d.mutated("wake")
 	return d.cfg.Power.WakeLatency.Seconds()
@@ -440,6 +486,9 @@ func (d *Driver) controlTick() {
 		snap := IntervalAssignments{At: d.engine.Now(), Counts: d.intervalAssign}
 		d.stats.Assignments = append(d.stats.Assignments, snap)
 		d.intervalAssign = make(map[int]map[int]int)
+	}
+	if d.probe != nil {
+		d.probe.ControlTick(d.engine.Now(), d.meter.TotalJoules(), d.stats.TasksDone())
 	}
 	d.sched.OnControlTick(d.ctx)
 }
@@ -527,6 +576,10 @@ func (d *Driver) startMap(t *Task, m *cluster.Machine) {
 	if t.Local {
 		d.stats.LocalMaps++
 	}
+	if d.probe != nil {
+		d.probe.Assign(now, t.Job.Spec.ID, t.Index, m.ID, int8(MapTask),
+			t.Job.Spec.App.String(), t.Local, dur, (now - t.Job.Submitted).Seconds())
+	}
 	d.mutated("startMap")
 	if d.faults.AttemptFails() {
 		t.doomed = true
@@ -572,6 +625,10 @@ func (d *Driver) startReduce(t *Task, m *cluster.Machine) {
 	// stream is consumed in scheduling order.
 	t.doomed = d.faults.AttemptFails()
 
+	if d.probe != nil {
+		d.probe.Assign(now, t.Job.Spec.ID, t.Index, m.ID, int8(ReduceTask),
+			t.Job.Spec.App.String(), false, t.shuffleSecs+t.computeSecs, (now - t.Job.Submitted).Seconds())
+	}
 	if t.Job.MapsDone() {
 		d.finalizeReduce(t)
 	}
@@ -633,6 +690,10 @@ func (d *Driver) completeTask(t *Task) {
 
 	t.EstJoules = d.estimateJoules(t)
 	t.TrueJoules = d.trueJoules(t)
+	if d.probe != nil {
+		d.probe.Complete(now, t.Job.Spec.ID, t.Index, m.ID, int8(t.Kind),
+			t.EstJoules, t.TrueJoules, t.Duration().Seconds())
+	}
 
 	j := t.Job
 	j.running--
@@ -728,6 +789,9 @@ func (d *Driver) detachRunning(t *Task) bool {
 func (d *Driver) completeJob(j *Job) {
 	j.done = true
 	j.Finished = d.engine.Now()
+	if d.probe != nil {
+		d.probe.JobDone(j.Finished, j.Spec.ID, false)
+	}
 	d.dropJobAggregates(j)
 	if len(j.Maps) == 0 {
 		j.MapsDoneAt = j.Finished

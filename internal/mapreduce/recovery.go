@@ -122,6 +122,9 @@ func (d *Driver) crashMachine(id int) {
 	}
 
 	m.Fail()
+	if d.probe != nil {
+		d.probe.MachineState(now, m.ID, "crash")
+	}
 	d.noteAvailabilityChange(m)
 	d.totalSlots -= m.Spec.Slots()
 	d.totalMapSlots -= m.Spec.MapSlots
@@ -185,6 +188,9 @@ func (d *Driver) recoverMachine(id int) {
 		d.failCount[id] = 0
 		d.blacklistUntil[id] = 0
 	}
+	if d.probe != nil {
+		d.probe.MachineState(now, m.ID, "recover")
+	}
 	d.noteAvailabilityChange(m)
 	d.stats.Recoveries++
 	d.mutated("recover")
@@ -200,6 +206,9 @@ func (d *Driver) failJob(j *Job) {
 	j.done = true
 	j.failed = true
 	j.Finished = d.engine.Now()
+	if d.probe != nil {
+		d.probe.JobDone(j.Finished, j.Spec.ID, true)
+	}
 
 	attempts := append(j.RunningAttempts(MapTask), j.RunningAttempts(ReduceTask)...)
 	for _, t := range attempts {
@@ -246,6 +255,9 @@ func (d *Driver) noteMachineFailure(m *cluster.Machine) {
 		d.blacklistUntil[m.ID] = d.engine.Now() + cfg.BlacklistCooldown
 		d.failCount[m.ID] = 0
 		d.stats.Blacklists++
+		if d.probe != nil {
+			d.probe.MachineState(d.engine.Now(), m.ID, "blacklist")
+		}
 		d.reclassify(m)
 	}
 }

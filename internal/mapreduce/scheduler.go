@@ -5,6 +5,7 @@ import (
 
 	"eant/internal/cluster"
 	"eant/internal/hdfs"
+	"eant/internal/probe"
 	"eant/internal/sim"
 	"eant/internal/workload"
 )
@@ -58,6 +59,11 @@ type Context struct {
 
 // Now returns the current virtual time.
 func (c *Context) Now() time.Duration { return c.driver.engine.Now() }
+
+// Probe returns the run's observability probe, or nil when disabled.
+// Schedulers recording decision events must treat it as a pure sink:
+// record-only, guarded by a nil check on the hot path.
+func (c *Context) Probe() *probe.Probe { return c.driver.probe }
 
 // ActiveJobs returns submitted, unfinished jobs in submission order. The
 // slice is shared; callers must not mutate it.

@@ -1,0 +1,237 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"eant/internal/sim"
+)
+
+func mustHistogram(t testing.TB, bounds []float64) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []float64
+		ok     bool
+	}{
+		{"empty", nil, false},
+		{"single", []float64{1}, true},
+		{"ascending", []float64{1, 2, 5}, true},
+		{"zero-width bucket", []float64{1, 1, 2}, false},
+		{"descending", []float64{5, 2}, false},
+		{"negative ok if ascending", []float64{-1, 0, 1}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewHistogram(c.bounds)
+			if (err == nil) != c.ok {
+				t.Fatalf("NewHistogram(%v) error = %v, want ok=%v", c.bounds, err, c.ok)
+			}
+		})
+	}
+}
+
+func TestHistogramObserveBuckets(t *testing.T) {
+	h := mustHistogram(t, []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // (≤1)=0.5,1; (1,10]=1.5,10; (10,100]=99,100; overflow=101,1e9
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Count != 8 || h.Min != 0.5 || h.Max != 1e9 {
+		t.Errorf("Count=%d Min=%v Max=%v", h.Count, h.Min, h.Max)
+	}
+}
+
+// TestHistogramCountConservation: for any observation sequence, the bucket
+// counts sum to Count, and a merge of any partition of the sequence
+// conserves every bucket count exactly.
+func TestHistogramCountConservation(t *testing.T) {
+	rng := sim.NewRNG(7).Fork("hist-conserve")
+	bounds := []float64{1, 2, 5, 10, 50}
+	for trial := 0; trial < 50; trial++ {
+		whole := mustHistogram(t, bounds)
+		parts := []*Histogram{
+			mustHistogram(t, bounds), mustHistogram(t, bounds), mustHistogram(t, bounds),
+		}
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			v := rng.Uniform(0, 60)
+			whole.Observe(v)
+			parts[rng.Intn(len(parts))].Observe(v)
+		}
+		merged := mustHistogram(t, bounds)
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Count != whole.Count {
+			t.Fatalf("trial %d: merged Count %d != whole %d", trial, merged.Count, whole.Count)
+		}
+		var sum uint64
+		for i, c := range merged.Counts {
+			sum += c
+			if c != whole.Counts[i] {
+				t.Fatalf("trial %d: bucket %d merged %d != whole %d", trial, i, c, whole.Counts[i])
+			}
+		}
+		if sum != merged.Count {
+			t.Fatalf("trial %d: bucket sum %d != Count %d", trial, sum, merged.Count)
+		}
+		if whole.Count > 0 && (merged.Min != whole.Min || merged.Max != whole.Max) {
+			t.Fatalf("trial %d: merged extremes (%v,%v) != whole (%v,%v)",
+				trial, merged.Min, merged.Max, whole.Min, whole.Max)
+		}
+	}
+}
+
+// TestHistogramMergeAssociativity: (a⊕b)⊕c equals a⊕(b⊕c) exactly for
+// counts, extremes and quantiles; the float Sum agrees to relative
+// tolerance (float addition is not associative in the last bits, which is
+// why MergeReports fixes a fold order — submission order).
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := sim.NewRNG(11).Fork("hist-assoc")
+	bounds := []float64{0.5, 1, 3, 9, 27}
+	for trial := 0; trial < 50; trial++ {
+		hs := make([]*Histogram, 3)
+		for i := range hs {
+			hs[i] = mustHistogram(t, bounds)
+			for n := rng.Intn(100); n > 0; n-- {
+				hs[i].Observe(rng.Exp(5))
+			}
+		}
+		left := hs[0].Clone()
+		if err := left.Merge(hs[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := left.Merge(hs[2]); err != nil {
+			t.Fatal(err)
+		}
+		bc := hs[1].Clone()
+		if err := bc.Merge(hs[2]); err != nil {
+			t.Fatal(err)
+		}
+		right := hs[0].Clone()
+		if err := right.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		if left.Count != right.Count {
+			t.Fatalf("trial %d: count %d vs %d", trial, left.Count, right.Count)
+		}
+		for i := range left.Counts {
+			if left.Counts[i] != right.Counts[i] {
+				t.Fatalf("trial %d: bucket %d: %d vs %d", trial, i, left.Counts[i], right.Counts[i])
+			}
+		}
+		if left.Count > 0 {
+			if left.Min != right.Min || left.Max != right.Max {
+				t.Fatalf("trial %d: extremes differ", trial)
+			}
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+				if left.Quantile(q) != right.Quantile(q) {
+					t.Fatalf("trial %d: q%v: %v vs %v", trial, q, left.Quantile(q), right.Quantile(q))
+				}
+			}
+		}
+		if diff := math.Abs(left.Sum - right.Sum); diff > 1e-9*math.Abs(left.Sum) {
+			t.Fatalf("trial %d: Sum %v vs %v beyond tolerance", trial, left.Sum, right.Sum)
+		}
+	}
+}
+
+// TestHistogramQuantileMonotonicity: Quantile(q) is non-decreasing in q,
+// bounded by [Min, Max], exact at the endpoints.
+func TestHistogramQuantileMonotonicity(t *testing.T) {
+	rng := sim.NewRNG(13).Fork("hist-quantile")
+	bounds := []float64{1, 2, 5, 10, 20, 50}
+	for trial := 0; trial < 50; trial++ {
+		h := mustHistogram(t, bounds)
+		n := 1 + rng.Intn(300)
+		for i := 0; i < n; i++ {
+			h.Observe(rng.Uniform(0, 70))
+		}
+		if got := h.Quantile(0); got != h.Min {
+			t.Fatalf("trial %d: Quantile(0)=%v, want Min=%v", trial, got, h.Min)
+		}
+		if got := h.Quantile(1); got != h.Max {
+			t.Fatalf("trial %d: Quantile(1)=%v, want Max=%v", trial, got, h.Max)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%v)=%v < Quantile(prev)=%v", trial, q, v, prev)
+			}
+			if v < h.Min || v > h.Max {
+				t.Fatalf("trial %d: Quantile(%v)=%v outside [%v, %v]", trial, q, v, h.Min, h.Max)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestHistogramQuantileKnownValues(t *testing.T) {
+	h := mustHistogram(t, []float64{10, 20, 30, 40})
+	// 10 observations at bucket midpoints: 5,5,15,15,15,25,25,35,35,45.
+	for _, v := range []float64{5, 5, 15, 15, 15, 25, 25, 35, 35, 45} {
+		h.Observe(v)
+	}
+	// Median rank 5 lands in (10,20] (cumulative 2+3=5): frac=3/3 → 20.
+	if got := h.Quantile(0.5); got != 20 {
+		t.Errorf("median = %v, want 20", got)
+	}
+	if got := h.Quantile(0); got != 5 {
+		t.Errorf("q0 = %v, want 5", got)
+	}
+	if got := h.Quantile(1); got != 45 {
+		t.Errorf("q1 = %v, want 45", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := mustHistogram(t, []float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramMergeErrors(t *testing.T) {
+	a := mustHistogram(t, []float64{1, 2, 3})
+	b := mustHistogram(t, []float64{1, 2})
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different bound counts should fail")
+	}
+	c := mustHistogram(t, []float64{1, 2, 4})
+	if err := a.Merge(c); err == nil {
+		t.Error("merging different boundary values should fail")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil should be a no-op, got %v", err)
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	a := mustHistogram(t, []float64{1, 10})
+	b := mustHistogram(t, []float64{1, 10})
+	b.Observe(3)
+	b.Observe(12)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 2 || a.Min != 3 || a.Max != 12 {
+		t.Errorf("after merge into empty: Count=%d Min=%v Max=%v", a.Count, a.Min, a.Max)
+	}
+}

@@ -1,0 +1,116 @@
+package trace_test
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"eant/internal/mapreduce"
+	"eant/internal/trace"
+)
+
+// failAfter is an io.Writer that fails once n bytes have gone through, so
+// write errors surface mid-stream rather than on the first byte.
+type failAfter struct{ n int }
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("pipe closed")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestErrorPathsTable sweeps every exporter over its error inputs and
+// checks each failure is wrapped with the package prefix and keeps its
+// cause — the contract callers match on.
+func TestErrorPathsTable(t *testing.T) {
+	full := runStats(t, true)
+	noTasks := runStats(t, false)
+	cases := []struct {
+		name     string
+		run      func() error
+		wantErr  bool
+		contains string
+	}{
+		{
+			name:    "jsonl nil stats",
+			run:     func() error { return trace.WriteJSONL(io.Discard, nil) },
+			wantErr: true, contains: "trace: nil stats",
+		},
+		{
+			name:    "jsonl write error",
+			run:     func() error { return trace.WriteJSONL(&failAfter{}, full) },
+			wantErr: true, contains: "trace:",
+		},
+		{
+			name:    "csv nil stats",
+			run:     func() error { return trace.WriteTasksCSV(io.Discard, nil) },
+			wantErr: true, contains: "trace: nil stats",
+		},
+		{
+			name:    "csv empty task records",
+			run:     func() error { return trace.WriteTasksCSV(io.Discard, noTasks) },
+			wantErr: true, contains: "KeepTaskRecords",
+		},
+		{
+			name:    "csv header write error",
+			run:     func() error { return trace.WriteTasksCSV(&failAfter{}, full) },
+			wantErr: true, contains: "trace:",
+		},
+		{
+			name:    "csv row write error",
+			run:     func() error { return trace.WriteTasksCSV(&failAfter{n: 120}, full) },
+			wantErr: true, contains: "trace:",
+		},
+		{
+			name:    "summary nil stats",
+			run:     func() error { return trace.WriteSummary(io.Discard, nil) },
+			wantErr: true, contains: "trace: nil stats",
+		},
+		{
+			name:    "summary write error",
+			run:     func() error { return trace.WriteSummary(&failAfter{}, full) },
+			wantErr: true, contains: "trace:",
+		},
+		{
+			name: "jsonl empty stats ok",
+			run:  func() error { return trace.WriteJSONL(io.Discard, &mapreduce.Stats{}) },
+		},
+		{
+			name: "summary empty stats ok",
+			run:  func() error { return trace.WriteSummary(io.Discard, &mapreduce.Stats{}) },
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.run()
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, c.wantErr)
+			}
+			if err != nil && !strings.Contains(err.Error(), c.contains) {
+				t.Errorf("error %q does not contain %q", err, c.contains)
+			}
+		})
+	}
+}
+
+// TestSummarizeNilStats: a nil stats yields the zero Summary, not a panic
+// (callers batching many runs shouldn't crash on one missing result).
+func TestSummarizeNilStats(t *testing.T) {
+	s := trace.Summarize(nil)
+	if !reflect.DeepEqual(s, trace.Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero Summary", s)
+	}
+}
+
+// TestSummarizeEmptyStats: no jobs means MeanJCTSec stays zero instead of
+// dividing by zero.
+func TestSummarizeEmptyStats(t *testing.T) {
+	s := trace.Summarize(&mapreduce.Stats{Scheduler: "X"})
+	if s.Scheduler != "X" || s.MeanJCTSec != 0 || s.JobsCompleted != 0 {
+		t.Errorf("empty-stats summary = %+v", s)
+	}
+}

@@ -119,14 +119,14 @@ func WriteTasksCSV(w io.Writer, stats *mapreduce.Stats) error {
 		return fmt.Errorf("trace: no task records (run with KeepTaskRecords)")
 	}
 	if _, err := fmt.Fprintln(w, "job_id,app,class,kind,machine_id,machine_type,start_sec,finish_sec,est_joules,true_joules,local"); err != nil {
-		return err
+		return fmt.Errorf("trace: %w", err)
 	}
 	for _, t := range stats.Tasks {
 		_, err := fmt.Fprintf(w, "%d,%s,%s,%s,%d,%s,%.3f,%.3f,%.3f,%.3f,%t\n",
 			t.JobID, t.App, t.Class, t.Kind, t.MachineID, t.MachineType,
 			t.Start.Seconds(), t.Finish.Seconds(), t.EstJoules, t.TrueJoules, t.Local)
 		if err != nil {
-			return err
+			return fmt.Errorf("trace: %w", err)
 		}
 	}
 	return nil
@@ -145,8 +145,13 @@ type Summary struct {
 	MeanJCTSec    float64            `json:"mean_jct_sec"`
 }
 
-// Summarize extracts a Summary from run statistics.
+// Summarize extracts a Summary from run statistics. A nil stats yields
+// the zero Summary rather than a panic: callers batching many runs
+// shouldn't crash on one missing result.
 func Summarize(stats *mapreduce.Stats) Summary {
+	if stats == nil {
+		return Summary{}
+	}
 	s := Summary{
 		Scheduler:     stats.Scheduler,
 		MakespanSec:   stats.Horizon.Seconds(),
@@ -174,5 +179,8 @@ func WriteSummary(w io.Writer, stats *mapreduce.Stats) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Summarize(stats))
+	if err := enc.Encode(Summarize(stats)); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
 }

@@ -1,0 +1,168 @@
+package eant
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// newSweepProbe builds a fresh fully-enabled probe writing its JSONL
+// stream into the returned buffer.
+func newSweepProbe(t testing.TB) (*Probe, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	p, err := NewProbe(ProbeConfig{SampleEvery: 1, Trails: true, Stream: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, &buf
+}
+
+// TestProbeDoesNotPerturbStats is the API-level statement of the
+// observability contract: attaching a fully-enabled probe to a run leaves
+// the entire Stats record — every counter, timeline and per-machine energy
+// figure — deeply equal to the probe-free run's.
+func TestProbeDoesNotPerturbStats(t *testing.T) {
+	jobs := MSDWorkload(12, 9)
+	base := RunSpec{
+		Cluster:         scaledTestbed(t, 1),
+		Scheduler:       SchedulerEAnt,
+		Jobs:            jobs,
+		Seed:            9,
+		KeepTaskRecords: true,
+	}
+	bare, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := base
+	probed.Cluster = base.Cluster.Clone()
+	p, _ := newSweepProbe(t)
+	probed.Probe = p
+	withProbe, err := Run(probed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Recorded() == 0 {
+		t.Fatal("probe recorded nothing; the hooks are not wired")
+	}
+	if !reflect.DeepEqual(bare.Stats, withProbe.Stats) {
+		t.Errorf("probe perturbed Stats: joules %v vs %v, makespan %v vs %v",
+			bare.Stats.TotalJoules, withProbe.Stats.TotalJoules,
+			bare.Stats.Horizon, withProbe.Stats.Horizon)
+	}
+
+	// Fault-injected runs must be equally unperturbed: the recovery paths
+	// (crash, recover, blacklist, job failure) carry their own hooks.
+	faulty := base
+	faulty.Cluster = base.Cluster.Clone()
+	faulty.Faults = &FaultConfig{
+		MachineMTBF: 2 * time.Hour, MachineMTTR: 5 * time.Minute, TaskFailProb: 0.02,
+	}
+	bareF, err := Run(faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultyProbed := faulty
+	faultyProbed.Cluster = base.Cluster.Clone()
+	pf, _ := newSweepProbe(t)
+	faultyProbed.Probe = pf
+	withProbeF, err := Run(faultyProbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bareF.Stats, withProbeF.Stats) {
+		t.Error("probe perturbed Stats of a fault-injected run")
+	}
+}
+
+// TestProbeSweepParallel runs a TestScaleSweepParallel-style grid with a
+// fully-enabled probe (JSONL stream included) attached to every cell, via
+// the parallel worker pool. Under `go test -race` it is the data-race
+// check for the observability layer; in any mode it checks that each
+// cell's probe output — raw event stream and histogram report — is
+// byte-identical to a sequential rerun's, and that merging reports in
+// submission order is reproducible.
+func TestProbeSweepParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep; skipped in -short mode")
+	}
+	type cell struct {
+		spec   RunSpec
+		stream *bytes.Buffer
+	}
+	var cells []cell
+	for _, jobs := range []int{5, 20} {
+		for _, sched := range []Scheduler{SchedulerEAnt, SchedulerFair} {
+			p, buf := newSweepProbe(t)
+			cells = append(cells, cell{
+				spec: RunSpec{
+					Cluster:   scaledTestbed(t, 1),
+					Scheduler: sched,
+					Jobs:      MSDWorkload(jobs, 3),
+					Seed:      3,
+					Probe:     p,
+				},
+				stream: buf,
+			})
+		}
+	}
+	specs := make([]RunSpec, len(cells))
+	for i, c := range cells {
+		specs[i] = c.spec
+	}
+	par, err := RunMany(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parReports := make([]ProbeReport, len(cells))
+	for i, c := range cells {
+		if err := c.spec.Probe.Err(); err != nil {
+			t.Fatalf("cell %d stream error: %v", i, err)
+		}
+		parReports[i] = c.spec.Probe.Report()
+	}
+
+	// Sequential rerun of every cell with its own fresh probe: simulation
+	// results, raw event streams and reports must all be byte-identical.
+	seqReports := make([]ProbeReport, len(cells))
+	for i, c := range cells {
+		spec := c.spec
+		spec.Cluster = spec.Cluster.Clone()
+		p, buf := newSweepProbe(t)
+		spec.Probe = p
+		seq, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].TotalJoules != seq.TotalJoules || par[i].Makespan != seq.Makespan {
+			t.Errorf("cell %d: parallel run diverged from sequential", i)
+		}
+		if !bytes.Equal(c.stream.Bytes(), buf.Bytes()) {
+			t.Errorf("cell %d: probe JSONL stream differs between parallel and sequential runs", i)
+		}
+		if !reflect.DeepEqual(c.spec.Probe.Report(), p.Report()) {
+			t.Errorf("cell %d: probe report differs between parallel and sequential runs", i)
+		}
+		seqReports[i] = p.Report()
+	}
+
+	// Submission-order aggregation is reproducible: the merged report from
+	// the parallel sweep equals the merge of the sequential reruns.
+	parMerged, err := MergeProbeReports(parReports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqMerged, err := MergeProbeReports(seqReports...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parMerged, seqMerged) {
+		t.Error("merged sweep reports differ between parallel and sequential aggregation")
+	}
+	if parMerged.TaskEnergyJ == nil || parMerged.TaskEnergyJ.Count == 0 {
+		t.Error("merged report is empty; probes recorded nothing")
+	}
+}
