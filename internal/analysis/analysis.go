@@ -1,8 +1,9 @@
-// Package analysis is the simulator's static-analysis suite: five
+// Package analysis is the simulator's static-analysis suite: six
 // analyzers that machine-check the determinism and hot-path contracts the
 // reproduction depends on (seeded runs must be bit-identical, the virtual
-// clock is the only clock, and the PR-3 incremental aggregates must never
-// desynchronize from ground truth).
+// clock is the only clock, the PR-3 incremental aggregates must never
+// desynchronize from ground truth, and the hot event paths must schedule
+// through typed kinds rather than per-event closures).
 //
 // The framework deliberately mirrors the core shapes of
 // golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — so each
@@ -129,5 +130,5 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{RngOnly, NoClock, MapOrder, FloatSum, StatsMut}
+	return []*Analyzer{RngOnly, NoClock, MapOrder, FloatSum, StatsMut, HotClosure}
 }

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotPathPkgs are the packages whose event scheduling sits on the
+// simulator's innermost loop: the engine itself and the driver that runs
+// every heartbeat, completion, and control tick through it. Closure-based
+// scheduling is fine everywhere else (setup, fault campaigns, tests) —
+// there it trades one small allocation for clarity on cold paths.
+var hotPathPkgs = map[string]bool{
+	"eant/internal/sim":       true,
+	"eant/internal/mapreduce": true,
+}
+
+// closureSchedulers are the sim.Engine methods that accept a Handler
+// closure, keyed to the argument index carrying it. Every is flagged at
+// the call itself: it builds a self-rescheduling closure chain, so a hot
+// periodic process should register a typed kind instead.
+var closureSchedulers = map[string]int{
+	"Schedule":      1,
+	"ScheduleAfter": 1,
+	"Every":         2,
+}
+
+// HotClosure enforces the typed-event contract from the calendar-queue
+// refactor: inside the driver/engine hot path, events must be scheduled
+// through registered kinds (RegisterKind + ScheduleKind), not closures. A
+// closure literal passed to Schedule allocates per event — at 1024
+// machines that is hundreds of thousands of allocations per simulated
+// hour whose only job is to carry a pointer the typed payload carries for
+// free. Deliberate cold-path exceptions carry "//eant:closure-ok <reason>".
+var HotClosure = &Analyzer{
+	Name: "hotclosure",
+	Doc:  "forbid closure-allocating Schedule/ScheduleAfter/Every calls on sim.Engine in the driver/engine hot path; use RegisterKind + ScheduleKind",
+	Run:  runHotClosure,
+}
+
+func runHotClosure(pass *Pass) error {
+	if !hotPathPkgs[pass.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			argIdx, scheduler := closureSchedulers[sel.Sel.Name]
+			if !scheduler || !namedFrom(pass.TypeOf(sel.X), "eant/internal/sim", "Engine") {
+				return true
+			}
+			if !pass.closureArg(call, sel.Sel.Name, argIdx) {
+				return true
+			}
+			reason, annotated := pass.Annotation(call.Pos(), "closure-ok")
+			if annotated {
+				if reason == "" {
+					pass.Reportf(call.Pos(), "//eant:closure-ok annotation needs a one-line reason")
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(), "closure-allocating Engine.%s in the hot path: this allocates per event; register a typed kind (RegisterKind) and use ScheduleKind, or annotate //eant:closure-ok with a reason", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// closureArg reports whether the scheduling call allocates a closure per
+// invocation: an Every call always does (its chain closure is built
+// inside), a Schedule/ScheduleAfter does when the handler argument is a
+// func literal or a method value — both materialize a fresh closure at the
+// call site. A plain identifier bound to a prebuilt handler is allowed:
+// it was allocated once, not per event.
+func (pass *Pass) closureArg(call *ast.CallExpr, name string, argIdx int) bool {
+	if name == "Every" {
+		return true
+	}
+	if len(call.Args) <= argIdx {
+		return false
+	}
+	switch arg := call.Args[argIdx].(type) {
+	case *ast.FuncLit:
+		return true
+	case *ast.SelectorExpr:
+		// A method value (m.Run as a func value) allocates its bound
+		// closure each evaluation; a plain field read does not.
+		if s, ok := pass.Info.Selections[arg]; ok && s.Kind() == types.MethodVal {
+			return true
+		}
+	}
+	return false
+}

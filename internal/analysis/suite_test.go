@@ -25,6 +25,7 @@ var fixtures = []struct {
 	{"floatsum_eq", analysis.FloatSum},
 	{"statsmut_driver", analysis.StatsMut},
 	{"statsmut_sched", analysis.StatsMut},
+	{"hotclosure_driver", analysis.HotClosure},
 }
 
 func TestFixtures(t *testing.T) {
@@ -43,8 +44,8 @@ func TestSuiteComplete(t *testing.T) {
 		covered[f.analyzer.Name] = true
 	}
 	all := analysis.All()
-	if len(all) != 5 {
-		t.Fatalf("All() has %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("All() has %d analyzers, want 6", len(all))
 	}
 	for _, a := range all {
 		if !covered[a.Name] {

@@ -1,0 +1,57 @@
+//eantlint:path eant/internal/mapreduce
+
+// Fixture: inside the driver hot path, events go through typed kinds —
+// closure literals, method values, and Every chains are per-event
+// allocations the calendar refactor removed.
+package hotclosuredriver
+
+import (
+	"time"
+
+	"eant/internal/sim"
+)
+
+type driver struct {
+	engine *sim.Engine
+	beat   sim.EventKind
+}
+
+func (d *driver) tick(i int, arg any) {}
+
+func (d *driver) heartbeatClosure() {
+	d.engine.Schedule(0, func() {}) // want `closure-allocating Engine\.Schedule in the hot path`
+}
+
+func (d *driver) completionClosure(delay time.Duration) {
+	d.engine.ScheduleAfter(delay, func() {}) // want `closure-allocating Engine\.ScheduleAfter in the hot path`
+}
+
+func (d *driver) methodValue() {
+	d.engine.Schedule(0, d.fire) // want `closure-allocating Engine\.Schedule in the hot path`
+}
+
+func (d *driver) fire() {}
+
+func (d *driver) periodicChain() {
+	d.engine.Every(0, 3*time.Second, func() bool { return true }) // want `closure-allocating Engine\.Every in the hot path`
+}
+
+func (d *driver) typedIsFine() {
+	d.beat = d.engine.RegisterKind(d.tick)
+	d.engine.ScheduleKind(0, d.beat, 0, nil)
+	d.engine.ScheduleKindAfter(3*time.Second, d.beat, 1, nil)
+}
+
+func (d *driver) prebuiltHandlerIsFine(h sim.Handler) {
+	d.engine.Schedule(0, h)
+}
+
+func (d *driver) annotatedColdPath() {
+	//eant:closure-ok one-shot campaign setup, fires once per run
+	d.engine.Schedule(0, func() {})
+}
+
+func (d *driver) annotatedWithoutReason() {
+	//eant:closure-ok
+	d.engine.Schedule(0, func() {}) // want `//eant:closure-ok annotation needs a one-line reason`
+}

@@ -41,6 +41,7 @@ type EAnt struct {
 	// owned by exactly one single-threaded driver (see DESIGN.md's
 	// concurrency model).
 	scratchJobs    []*mapreduce.Job
+	scratchCols    []*colony
 	scratchWeights []float64
 	scratchAvail   []bool
 	unavailable    []bool
@@ -149,10 +150,15 @@ func (e *EAnt) Params() Params { return e.p }
 // tests). Nil until the first assignment.
 func (e *EAnt) Matrix() *Matrix { return e.mx }
 
+// init is called on every offer; the fast path must inline to a single
+// load-and-branch, so the one-time construction lives in initSlow.
 func (e *EAnt) init(ctx *mapreduce.Context) {
-	if e.mx != nil {
-		return
+	if e.mx == nil {
+		e.initSlow(ctx)
 	}
+}
+
+func (e *EAnt) initSlow(ctx *mapreduce.Context) {
 	mx, err := NewMatrix(ctx.Cluster.Size(), e.p)
 	if err != nil {
 		panic(err) // params were validated in NewEAnt
@@ -213,13 +219,15 @@ func (e *EAnt) eta(ctx *mapreduce.Context, j *mapreduce.Job) float64 {
 // η is the (capped) locality bonus when the job holds a local block on
 // the machine, and the fairness deficit otherwise; β controls how hard
 // heuristic information overrides the energy trails.
-func (e *EAnt) weight(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m *cluster.Machine) float64 {
-	tau := e.mx.Tau(k, m.ID)
+// The colony is pre-resolved by selectColony: one candidate-order map
+// lookup per offer instead of one per weight/accept evaluation.
+func (e *EAnt) weight(ctx *mapreduce.Context, j *mapreduce.Job, c *colony, kind mapreduce.TaskKind, m *cluster.Machine) float64 {
+	tau := c.row[m.ID]
 	if e.p.Beta <= 0 {
 		return tau
 	}
 	eta := e.eta(ctx, j)
-	if k.Kind == mapreduce.MapTask && ctx.HasLocalMap(j, m) {
+	if kind == mapreduce.MapTask && ctx.HasLocalMap(j, m) {
 		eta = e.p.EtaMax
 	}
 	return HeuristicWeight(tau, eta, e.p.Beta)
@@ -270,7 +278,7 @@ const betterHostFactor = 1.2
 // which is exactly where the paper's adaptive steering pays off
 // (Fig. 1a); under saturation E-Ant stays work-conserving and colony
 // *selection* does the affinity matching (Figs. 8b, 9).
-func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m *cluster.Machine) bool {
+func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, c *colony, kind mapreduce.TaskKind, m *cluster.Machine) bool {
 	// Under server consolidation a sleeping machine costs a wake (resume
 	// latency plus a return to full idle draw); decline unless the awake
 	// fleet genuinely cannot absorb the pending work. Pending work is
@@ -282,19 +290,18 @@ func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, k ColonyKey, m 
 	if m.Asleep() {
 		// m sits in the asleep availability class, so the awake aggregates
 		// exclude it — same machine set the old self-skipping scan covered.
-		pending := ctx.PendingTasks(k.Kind)
-		awakeSlots, awakeFree := ctx.AwakeSlots(k.Kind)
+		pending := ctx.PendingTasks(kind)
+		awakeSlots, awakeFree := ctx.AwakeSlots(kind)
 		if pending <= awakeSlots && awakeFree > 0 {
 			return false
 		}
 	}
-	if k.Kind == mapreduce.ReduceTask {
+	if kind == mapreduce.ReduceTask {
 		// Reduce placement adapts through colony selection only (see
 		// selectColony); past the sleep guard it always accepts.
 		return true
 	}
 
-	c := e.mx.colonyFor(k)
 	tau := c.row[m.ID]
 	if tau >= 1 {
 		return true
@@ -422,12 +429,21 @@ func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidat
 	if len(candidates) == 0 {
 		return nil
 	}
+	// Resolve each candidate's colony once, in candidate order — creating
+	// missing colonies in exactly the order the old per-evaluation lookups
+	// did, which pins the Matrix's deterministic iteration order — so the
+	// draw loop below reads rows directly instead of re-hashing ColonyKeys.
+	cols := e.scratchCols[:0]
+	for _, j := range candidates {
+		cols = append(cols, e.mx.colonyFor(key(j, kind)))
+	}
+	e.scratchCols = cols
 	// Weights depend only on trails, fairness occupancy, and locality —
 	// none of which an intra-offer decline changes — so they are computed
 	// once and declined colonies are masked out in place for the redraw.
 	weights := e.scratchWeights[:0]
-	for _, j := range candidates {
-		weights = append(weights, e.weight(ctx, j, key(j, kind), m))
+	for i, j := range candidates {
+		weights = append(weights, e.weight(ctx, j, cols[i], kind, m))
 	}
 	e.scratchWeights = weights
 	avail := e.scratchAvail[:0]
@@ -443,13 +459,12 @@ func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidat
 	for attempt := 0; attempt < draws; attempt++ {
 		i := e.pickIndex(ctx, weights, avail)
 		j := candidates[i]
-		ok := e.accepts(ctx, j, key(j, kind), m)
-		// The probe is a pure observer of the decision: Tau is a plain
-		// read (the colony already exists — weight() touched it above),
-		// and no randomness is drawn, so instrumented runs replay
-		// bit-identically.
+		ok := e.accepts(ctx, j, cols[i], kind, m)
+		// The probe is a pure observer of the decision: the trail is a
+		// plain row read on the pre-resolved colony, and no randomness is
+		// drawn, so instrumented runs replay bit-identically.
 		if pr := ctx.Probe(); pr != nil {
-			pr.Draw(ctx.Now(), m.ID, j.Spec.ID, int8(kind), e.mx.Tau(key(j, kind), m.ID), weights[i], ok)
+			pr.Draw(ctx.Now(), m.ID, j.Spec.ID, int8(kind), cols[i].row[m.ID], weights[i], ok)
 		}
 		if ok {
 			return j
@@ -464,6 +479,12 @@ func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidat
 // AssignMap implements mapreduce.Scheduler.
 func (e *EAnt) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
 	e.init(ctx)
+	// With no pending map anywhere the candidate list below is empty and
+	// selectColony returns nil without drawing randomness; skip the
+	// active-job scan (one offer per free slot on every heartbeat).
+	if ctx.PendingTasks(mapreduce.MapTask) == 0 {
+		return nil
+	}
 
 	pending := e.scratchJobs[:0]
 	for _, j := range ctx.ActiveJobs() {
@@ -486,6 +507,11 @@ const slowReduceFactor = 2.0
 // AssignReduce implements mapreduce.Scheduler.
 func (e *EAnt) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
 	e.init(ctx)
+	// Ready-reduce count is maintained incrementally by the driver; zero
+	// means ReduceReady holds for no job, so the scan would yield nothing.
+	if ctx.ReadyReduceTasks() == 0 {
+		return nil
+	}
 	ready := e.scratchJobs[:0]
 	for _, j := range ctx.ActiveJobs() {
 		if ctx.ReduceReady(j) {

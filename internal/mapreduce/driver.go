@@ -212,6 +212,17 @@ type Driver struct {
 	// (EnableInvariantChecks).
 	slotObs    SlotObserver
 	onMutation func(where string)
+
+	// Typed event kinds (sim.RegisterKind jump table). The hot scheduling
+	// paths — heartbeat sweeps, control ticks, submissions, completion/
+	// failure timers, the reduce shuffle→compute transition — carry at
+	// most a task or job pointer, so scheduling one allocates no closure.
+	evHeartbeat     sim.EventKind
+	evControl       sim.EventKind
+	evSubmit        sim.EventKind
+	evComplete      sim.EventKind
+	evFail          sim.EventKind
+	evReduceCompute sim.EventKind
 }
 
 // NewDriver wires a driver for one run. The scheduler must not be shared
@@ -226,6 +237,10 @@ func NewDriver(c *cluster.Cluster, sched Scheduler, cfg Config) (*Driver, error)
 	}
 	root := sim.NewRNG(cfg.Seed)
 	engine := sim.NewEngine()
+	// Calendar buckets sized to the dominant event period: heartbeats,
+	// completions and shuffle transitions land in the O(1) ring; control
+	// ticks and far-future submissions take the overflow band.
+	engine.SetBucketWidth(cfg.Heartbeat)
 	nm, err := noise.NewModel(cfg.Noise, root.Fork("noise"))
 	if err != nil {
 		return nil, err
@@ -254,6 +269,12 @@ func NewDriver(c *cluster.Cluster, sched Scheduler, cfg Config) (*Driver, error)
 	if obs, ok := sched.(SlotObserver); ok {
 		d.slotObs = obs
 	}
+	d.evHeartbeat = engine.RegisterKind(func(int, any) { d.heartbeatTick() })
+	d.evControl = engine.RegisterKind(func(int, any) { d.controlTickEvent() })
+	d.evSubmit = engine.RegisterKind(func(_ int, arg any) { d.submit(arg.(*Job)) })
+	d.evComplete = engine.RegisterKind(func(_ int, arg any) { d.completeTask(arg.(*Task)) })
+	d.evFail = engine.RegisterKind(func(_ int, arg any) { d.failAttempt(arg.(*Task)) })
+	d.evReduceCompute = engine.RegisterKind(func(_ int, arg any) { d.beginReduceCompute(arg.(*Task)) })
 	d.initAggregates()
 	if inj.Enabled() {
 		d.blacklistUntil = make([]time.Duration, c.Size())
@@ -318,26 +339,14 @@ func (d *Driver) Run(specs []workload.JobSpec, horizon time.Duration) (*Stats, e
 		}
 		job := newJob(spec, func(block int) []int { return file.Blocks[block] })
 		d.jobs = append(d.jobs, job)
-		d.engine.Schedule(spec.Submit, func() { d.submit(job) })
+		d.engine.ScheduleKind(spec.Submit, d.evSubmit, 0, job)
 	}
 
-	// Heartbeat loop.
-	d.engine.Every(0, d.cfg.Heartbeat, func() bool {
-		if d.finished() {
-			return false
-		}
-		d.serveHeartbeats()
-		return true
-	})
-
-	// Control loop.
-	d.engine.Every(d.cfg.ControlInterval, d.cfg.ControlInterval, func() bool {
-		if d.finished() {
-			return false
-		}
-		d.controlTick()
-		return true
-	})
+	// Heartbeat and control loops: typed self-rescheduling sweep events
+	// (see heartbeatTick/controlTickEvent), so the periodic hot path
+	// allocates nothing per tick.
+	d.engine.ScheduleKind(0, d.evHeartbeat, 0, nil)
+	d.engine.ScheduleKind(d.cfg.ControlInterval, d.evControl, 0, nil)
 
 	// Fault process: stochastic machine crashes/recoveries plus any
 	// scripted scenario. Start is a strict no-op when faults are disabled.
@@ -358,6 +367,28 @@ func (d *Driver) Run(specs []workload.JobSpec, horizon time.Duration) (*Stats, e
 
 func (d *Driver) finished() bool { return d.unsubmit == 0 && len(d.active) == 0 }
 
+// heartbeatTick is the per-tick heartbeat sweep event: it serves every
+// machine's free slots in one pass, then reschedules itself one heartbeat
+// out — mirroring Every's fn-then-reschedule order so the (at, seq)
+// event stream is unchanged. The self-chain ends when the run finishes.
+func (d *Driver) heartbeatTick() {
+	if d.finished() {
+		return
+	}
+	d.serveHeartbeats()
+	d.engine.ScheduleKindAfter(d.cfg.Heartbeat, d.evHeartbeat, 0, nil)
+}
+
+// controlTickEvent is the periodic control-interval event, typed for the
+// same zero-allocation reason as heartbeatTick.
+func (d *Driver) controlTickEvent() {
+	if d.finished() {
+		return
+	}
+	d.controlTick()
+	d.engine.ScheduleKindAfter(d.cfg.ControlInterval, d.evControl, 0, nil)
+}
+
 func (d *Driver) submit(j *Job) {
 	j.Submitted = d.engine.Now()
 	d.active = append(d.active, j)
@@ -377,29 +408,50 @@ func (d *Driver) submit(j *Job) {
 
 // serveHeartbeats walks machines in rotating order, filling free slots via
 // the scheduler. Rotation prevents machine 0 from perpetually seeing the
-// freshest task queues.
+// freshest task queues. The rotation is two contiguous passes over the
+// machine slice rather than a modulo walk: at 1024 machines the per-tick
+// index arithmetic is itself measurable.
 func (d *Driver) serveHeartbeats() {
 	machines := d.cluster.Machines()
 	n := len(machines)
 	d.tickOffset = (d.tickOffset + 1) % n
-	for i := 0; i < n; i++ {
-		m := machines[(i+d.tickOffset)%n]
+	d.sweep(machines[d.tickOffset:])
+	d.sweep(machines[:d.tickOffset])
+	// Machine sampling piggybacks on the heartbeat sweep: no extra engine
+	// events, so the (at, seq) order of the run is untouched.
+	if d.probe != nil && d.probe.ShouldSample() {
+		d.sampleMachines()
+	}
+}
+
+// sweep offers every free slot of the given machines to the scheduler, in
+// slice order. Per-tick invariants (power management off, no blacklist,
+// probes disabled) are hoisted out of the per-machine body.
+func (d *Driver) sweep(machines []*cluster.Machine) {
+	powerOn := d.cfg.Power.Enabled
+	blacklistOn := d.blacklistUntil != nil
+	probe := d.probe
+	for _, m := range machines {
 		if !m.Available() {
 			continue
 		}
-		// Blacklist expiry is a time-based transition with no event
-		// attached; reconcile the availability class at the heartbeat.
-		if d.agg.class[m.ID] == classBlacklisted && !d.blacklisted(m.ID) {
-			d.reclassify(m)
+		if blacklistOn {
+			// Blacklist expiry is a time-based transition with no event
+			// attached; reconcile the availability class at the heartbeat.
+			if d.agg.class[m.ID] == classBlacklisted && !d.blacklisted(m.ID) {
+				d.reclassify(m)
+			}
 		}
-		d.maybeSleep(m)
-		if d.blacklisted(m.ID) {
+		if powerOn {
+			d.maybeSleep(m)
+		}
+		if blacklistOn && d.blacklisted(m.ID) {
 			continue
 		}
 		for m.FreeMapSlots() > 0 {
 			d.stats.MapOffers++
-			if d.probe != nil {
-				d.probe.Offer(d.engine.Now(), m.ID, int8(MapTask), d.agg.pendingMaps)
+			if probe != nil {
+				probe.Offer(d.engine.Now(), m.ID, int8(MapTask), d.agg.pendingMaps)
 			}
 			t := d.sched.AssignMap(d.ctx, m)
 			if t == nil {
@@ -409,8 +461,8 @@ func (d *Driver) serveHeartbeats() {
 		}
 		for m.FreeReduceSlots() > 0 {
 			d.stats.ReduceOffers++
-			if d.probe != nil {
-				d.probe.Offer(d.engine.Now(), m.ID, int8(ReduceTask), d.agg.readyPendingReduces)
+			if probe != nil {
+				probe.Offer(d.engine.Now(), m.ID, int8(ReduceTask), d.agg.readyPendingReduces)
 			}
 			t := d.sched.AssignReduce(d.ctx, m)
 			if t == nil {
@@ -418,11 +470,6 @@ func (d *Driver) serveHeartbeats() {
 			}
 			d.startReduce(t, m)
 		}
-	}
-	// Machine sampling piggybacks on the heartbeat sweep: no extra engine
-	// events, so the (at, seq) order of the run is untouched.
-	if d.probe != nil && d.probe.ShouldSample() {
-		d.sampleMachines()
 	}
 }
 
@@ -583,10 +630,10 @@ func (d *Driver) startMap(t *Task, m *cluster.Machine) {
 	d.mutated("startMap")
 	if d.faults.AttemptFails() {
 		t.doomed = true
-		t.pendingEvent = d.engine.ScheduleAfter(secsToDur(dur*d.faults.FailurePoint()), func() { d.failAttempt(t) })
+		t.pendingEvent = d.engine.ScheduleKindAfter(secsToDur(dur*d.faults.FailurePoint()), d.evFail, 0, t)
 		return
 	}
-	t.pendingEvent = d.engine.ScheduleAfter(secsToDur(dur), func() { d.completeTask(t) })
+	t.pendingEvent = d.engine.ScheduleKindAfter(secsToDur(dur), d.evComplete, 0, t)
 }
 
 // startReduce begins a reduce's shuffle phase; the compute phase is
@@ -645,7 +692,7 @@ func (d *Driver) finalizeReduce(t *Task) {
 		// Transfers could not complete before the map barrier.
 		shuffleEnd = now
 	}
-	t.pendingEvent = d.engine.Schedule(shuffleEnd, func() { d.beginReduceCompute(t) })
+	t.pendingEvent = d.engine.ScheduleKind(shuffleEnd, d.evReduceCompute, 0, t)
 }
 
 func (d *Driver) beginReduceCompute(t *Task) {
@@ -663,10 +710,10 @@ func (d *Driver) beginReduceCompute(t *Task) {
 		t.Job.LastShuffleEnd = end
 	}
 	if t.doomed {
-		t.pendingEvent = d.engine.ScheduleAfter(secsToDur(t.computeSecs*d.faults.FailurePoint()), func() { d.failAttempt(t) })
+		t.pendingEvent = d.engine.ScheduleKindAfter(secsToDur(t.computeSecs*d.faults.FailurePoint()), d.evFail, 0, t)
 		return
 	}
-	t.pendingEvent = d.engine.ScheduleAfter(secsToDur(t.computeSecs), func() { d.completeTask(t) })
+	t.pendingEvent = d.engine.ScheduleKindAfter(secsToDur(t.computeSecs), d.evComplete, 0, t)
 }
 
 // completeTask finishes t: frees the slot, computes the Eq. 2 energy

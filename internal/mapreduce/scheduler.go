@@ -73,12 +73,21 @@ func (c *Context) ActiveJobs() []*Job { return c.driver.active }
 func (c *Context) ControlInterval() time.Duration { return c.driver.cfg.ControlInterval }
 
 // ReduceReady reports whether j's reduces may be scheduled yet: the job's
-// map progress has passed the slowstart threshold and reduces remain.
+// map progress has passed the slowstart threshold and reduces remain. The
+// gate reads the cached reduceGateOpen flag, which syncReduceGate
+// re-derives whenever mapsDone changes (checkAggregates verifies the two
+// never diverge), so the call is two integer reads per offer instead of a
+// floating-point progress ratio.
 func (c *Context) ReduceReady(j *Job) bool {
-	if j.PendingReduces() == 0 {
-		return false
-	}
-	return j.MapProgress() >= c.driver.cfg.Slowstart
+	return j.reduceGateOpen && j.PendingReduces() != 0
+}
+
+// ReadyReduceTasks returns the cluster-wide count of pending reduces on
+// jobs whose slowstart gate is open — zero exactly when no job satisfies
+// ReduceReady, letting schedulers skip the active-job scan on idle-reduce
+// heartbeats.
+func (c *Context) ReadyReduceTasks() int {
+	return c.driver.agg.readyPendingReduces
 }
 
 // TotalSlots returns S_pool, the fleet-wide slot count (Eq. 7).

@@ -227,17 +227,23 @@ func newJob(spec workload.JobSpec, replicasOf func(block int) []int) *Job {
 		runningByMachine: make(map[int]int),
 		runningSet:       make(map[*Task]struct{}),
 	}
+	// Tasks are batch-allocated: one backing array per kind instead of one
+	// heap object per task. The arrays are never resized, so the *Task
+	// pointers handed out below stay valid for the job's lifetime
+	// (speculative clones are separate allocations made at clone time).
 	j.Maps = make([]*Task, spec.NumMaps)
 	j.pendingMaps = make([]int, spec.NumMaps)
 	j.mapReplicas = make([][]int, spec.NumMaps)
+	maps := make([]Task, spec.NumMaps)
 	for i := 0; i < spec.NumMaps; i++ {
-		j.Maps[i] = &Task{
+		maps[i] = Task{
 			Job:     j,
 			Index:   i,
 			Kind:    MapTask,
 			InputMB: spec.MapInputMB(i),
 			State:   TaskPending,
 		}
+		j.Maps[i] = &maps[i]
 		j.pendingMaps[i] = i
 		j.mapReplicas[i] = replicasOf(i)
 		for _, machineID := range j.mapReplicas[i] {
@@ -246,14 +252,16 @@ func newJob(spec workload.JobSpec, replicasOf func(block int) []int) *Job {
 	}
 	j.Reduces = make([]*Task, spec.NumReduces)
 	j.pendingReduces = make([]int, spec.NumReduces)
+	reduces := make([]Task, spec.NumReduces)
 	for i := 0; i < spec.NumReduces; i++ {
-		j.Reduces[i] = &Task{
+		reduces[i] = Task{
 			Job:     j,
 			Index:   i,
 			Kind:    ReduceTask,
 			InputMB: spec.ShuffleMBPerReduce(),
 			State:   TaskPending,
 		}
+		j.Reduces[i] = &reduces[i]
 		j.pendingReduces[i] = i
 	}
 	return j

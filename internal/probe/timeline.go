@@ -18,9 +18,13 @@ const (
 
 // traceEvent is one element of the Chrome trace-event JSON array
 // (the format Perfetto and chrome://tracing load). ts and dur are in
-// microseconds of simulated time.
+// microseconds of simulated time. Cat carries the originating probe
+// Kind's wire name, so Perfetto's category filter can isolate one event
+// stream (all completions, all machine-state flips) across threads;
+// metadata records carry no category.
 type traceEvent struct {
 	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
 	Ph    string         `json:"ph"`
 	Ts    float64        `json:"ts"`
 	Dur   float64        `json:"dur,omitempty"`
@@ -87,23 +91,24 @@ func WriteTimeline(w io.Writer, events []Event) error {
 			}
 			enc.emit(traceEvent{
 				Name: fmt.Sprintf("j%d/%s%d", ev.JobID, taskKindName(ev.TaskKind), ev.Index),
+				Cat:  ev.Kind.String(),
 				Ph:   "X", Ts: micros(start), Dur: micros(ev.At - start),
 				Pid: pidCluster, Tid: int(ev.MachineID),
 				Args: map[string]any{"est_joules": finite(ev.A), "true_joules": finite(ev.B)},
 			})
 		case KindControlTick:
-			enc.emit(traceEvent{Name: "control tick", Ph: "i", Ts: micros(ev.At),
+			enc.emit(traceEvent{Name: "control tick", Cat: ev.Kind.String(), Ph: "i", Ts: micros(ev.At),
 				Pid: pidCluster, Scope: "p"})
-			enc.emit(traceEvent{Name: "fleet energy", Ph: "C", Ts: micros(ev.At), Pid: pidCluster,
+			enc.emit(traceEvent{Name: "fleet energy", Cat: ev.Kind.String(), Ph: "C", Ts: micros(ev.At), Pid: pidCluster,
 				Args: map[string]any{"joules": finite(ev.A)}})
-			enc.emit(traceEvent{Name: "tasks done", Ph: "C", Ts: micros(ev.At), Pid: pidCluster,
+			enc.emit(traceEvent{Name: "tasks done", Cat: ev.Kind.String(), Ph: "C", Ts: micros(ev.At), Pid: pidCluster,
 				Args: map[string]any{"done": ev.N}})
 		case KindSample:
-			enc.emit(traceEvent{Name: fmt.Sprintf("m%d util", ev.MachineID), Ph: "C",
+			enc.emit(traceEvent{Name: fmt.Sprintf("m%d util", ev.MachineID), Cat: ev.Kind.String(), Ph: "C",
 				Ts: micros(ev.At), Pid: pidCluster,
 				Args: map[string]any{"util": finite(ev.A)}})
 		case KindMachineState:
-			enc.emit(traceEvent{Name: ev.Label, Ph: "i", Ts: micros(ev.At),
+			enc.emit(traceEvent{Name: ev.Label, Cat: ev.Kind.String(), Ph: "i", Ts: micros(ev.At),
 				Pid: pidCluster, Tid: int(ev.MachineID), Scope: "t"})
 		case KindJobSubmit:
 			jobStart[ev.JobID] = ev.At
@@ -118,11 +123,11 @@ func WriteTimeline(w io.Writer, events []Event) error {
 			if !ok {
 				// The submit event was overwritten in the ring; record the
 				// completion as an instant rather than inventing a span.
-				enc.emit(traceEvent{Name: name, Ph: "i", Ts: micros(ev.At),
+				enc.emit(traceEvent{Name: name, Cat: ev.Kind.String(), Ph: "i", Ts: micros(ev.At),
 					Pid: pidJobs, Tid: int(ev.JobID), Scope: "t"})
 				continue
 			}
-			enc.emit(traceEvent{Name: name, Ph: "X", Ts: micros(start), Dur: micros(ev.At - start),
+			enc.emit(traceEvent{Name: name, Cat: ev.Kind.String(), Ph: "X", Ts: micros(start), Dur: micros(ev.At - start),
 				Pid: pidJobs, Tid: int(ev.JobID)})
 		}
 	}

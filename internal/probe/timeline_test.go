@@ -94,6 +94,56 @@ func TestWriteTimelineSpansAndCounters(t *testing.T) {
 	}
 }
 
+// TestWriteTimelineEventCategories checks that every non-metadata trace
+// record carries its originating probe kind as the Chrome trace "cat"
+// field, and that metadata records carry none.
+func TestWriteTimelineEventCategories(t *testing.T) {
+	p := mustProbe(t, Config{SampleEvery: 1})
+	p.JobSubmit(0, 7, "sort", 2, 1)
+	p.Sample(10*time.Second, 3, "atom", 0.5, 100, 1, 1)
+	p.Complete(30*time.Second, 7, 0, 3, 2, 40, 44, 20)
+	p.ControlTick(60*time.Second, 500, 1)
+	p.MachineState(70*time.Second, 3, "sleep")
+	p.JobDone(80*time.Second, 7, false)
+
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, p.Events()); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"j7/reduce0":   KindComplete.String(),
+		"control tick": KindControlTick.String(),
+		"fleet energy": KindControlTick.String(),
+		"tasks done":   KindControlTick.String(),
+		"m3 util":      KindSample.String(),
+		"sleep":        KindMachineState.String(),
+		"job":          KindJobDone.String(),
+	}
+	seen := map[string]bool{}
+	for _, ev := range decodeTimeline(t, buf.Bytes()) {
+		if ev.Ph == "M" {
+			if ev.Cat != "" {
+				t.Errorf("metadata record %q has category %q, want none", ev.Name, ev.Cat)
+			}
+			continue
+		}
+		cat, ok := want[ev.Name]
+		if !ok {
+			t.Errorf("unexpected trace record %q", ev.Name)
+			continue
+		}
+		if ev.Cat != cat {
+			t.Errorf("record %q category %q, want %q", ev.Name, ev.Cat, cat)
+		}
+		seen[ev.Name] = true
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("no trace record %q emitted", name)
+		}
+	}
+}
+
 func TestWriteTimelineJobDoneWithoutSubmit(t *testing.T) {
 	// Submit overwritten in the ring: completion must degrade to an instant.
 	evs := []Event{{At: time.Minute, Kind: KindJobDone, JobID: 4, Flag: true}}

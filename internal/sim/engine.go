@@ -1,10 +1,21 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual clock and a priority queue of timestamped
+// The engine maintains a virtual clock and a calendar queue of timestamped
 // events. Events scheduled for the same instant fire in the order they were
 // scheduled, which keeps runs bit-for-bit reproducible under a fixed seed.
 // All simulated Hadoop machinery (heartbeats, task completions, control
 // intervals) is driven by this engine.
+//
+// Two event flavors share one totally ordered (at, seq) stream:
+//
+//   - Closure events (Schedule/ScheduleAfter/Every) carry an arbitrary
+//     func(). They are the convenient general-purpose API, at the cost of
+//     one closure allocation per distinct callback.
+//   - Typed events (RegisterKind + ScheduleKind/ScheduleKindAfter) carry a
+//     small payload — an int index and a pointer — dispatched through a
+//     per-engine jump table. Scheduling one performs no allocation once
+//     the event pool is warm, which is what the driver's hot periodic
+//     paths (heartbeat sweeps, task completions) use.
 package sim
 
 import (
@@ -21,6 +32,20 @@ var ErrStopped = errors.New("sim: stopped")
 // clock is already advanced to the event time when the handler runs.
 type Handler func()
 
+// TypedHandler is the jump-table callback of a registered event kind. It
+// receives the payload stored at schedule time: a small integer (machine
+// index, slot number) and a pointer-shaped argument (task, job). Neither
+// is boxed per event, so a typed schedule is allocation-free.
+type TypedHandler func(i int, arg any)
+
+// EventKind names one registered typed handler. The zero value is the
+// closure kind and cannot be scheduled directly.
+type EventKind uint16
+
+// kindClosure marks events carrying a Handler closure rather than a
+// registered kind; it occupies jump-table slot 0.
+const kindClosure EventKind = 0
+
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same virtual instant so execution order is deterministic.
 //
@@ -30,10 +55,17 @@ type Handler func()
 // schedule time, so a stale handle whose event has been recycled can
 // never cancel the struct's new occupant.
 type event struct {
-	at        time.Duration
-	seq       uint64
-	gen       uint64
-	fn        Handler
+	at  time.Duration
+	seq uint64
+	gen uint64
+	// eng backs EventHandle.Cancel's live-count bookkeeping.
+	eng *Engine
+	// fn is the closure payload (kind == kindClosure only).
+	fn Handler
+	// arg and i are the typed payload (kind != kindClosure).
+	arg       any
+	i         int32
+	kind      EventKind
 	cancelled bool
 }
 
@@ -53,8 +85,9 @@ type EventHandle struct {
 // after the event has fired (then it has no effect, even if the event
 // struct has since been recycled for an unrelated event).
 func (h EventHandle) Cancel() {
-	if h.ev != nil && h.ev.gen == h.gen {
+	if h.ev != nil && h.ev.gen == h.gen && !h.ev.cancelled {
 		h.ev.cancelled = true
+		h.ev.eng.live--
 	}
 }
 
@@ -64,23 +97,88 @@ func (h EventHandle) Cancelled() bool {
 	return h.ev != nil && h.ev.gen == h.gen && h.ev.cancelled
 }
 
+// numBuckets is the calendar window: events within numBuckets×width of
+// the active bucket live in the ring; anything farther sits in the
+// overflow heap until the window reaches it. 64 buckets of the default
+// 3 s heartbeat width give a 192 s window — heartbeats, completions and
+// shuffle transitions land in the ring, while control ticks (5 min) and
+// far-future job submissions take the overflow path.
+const numBuckets = 64
+
+// maxFreeEvents is the free list's high-water mark, sized to cover the
+// in-flight event population of a 1024-machine fleet (one completion
+// timer per occupied slot). Recycled structs past the cap are dropped to
+// the garbage collector, so a campaign that briefly peaks far above the
+// steady state does not retain a peak-size struct pool (and, for closure
+// events, their captured graphs) for the rest of the run.
+const maxFreeEvents = 8192
+
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // not usable; construct with NewEngine. Engine is not safe for concurrent
 // use: the simulation model is a single logical process. Concurrency
 // lives one level up — independent runs, each with its own Engine, fan
 // out through internal/parallel.
+//
+// The queue is a bucketed calendar: fixed-width time buckets (width
+// defaults to 3 s, the Hadoop heartbeat; see SetBucketWidth) arranged in
+// a ring of numBuckets, an (at, seq) min-heap for the active bucket, and
+// an (at, seq) min-heap overflow band for events beyond the ring window.
+// Scheduling into a future ring bucket is an O(1) append; heap work is
+// confined to the handful of events sharing the active bucket and to the
+// rare far-future overflow, so the per-event cost is amortized O(1)
+// instead of the O(log n) of a global heap. Because every pop compares
+// the full (at, seq) key, the firing order is identical to a single
+// min-heap's — the calendar changes only where events wait, never when
+// they fire.
 type Engine struct {
 	now     time.Duration
-	queue   []*event // binary min-heap on (at, seq)
+	width   time.Duration // bucket width
+	curBi   int64         // absolute index of the active bucket
+	buckets [numBuckets][]*event
+	ringN   int      // events (incl. cancelled) in ring buckets
+	active  []*event // min-heap: active bucket + pulled overflow
+	over    []*event // min-heap: events at or beyond the ring window
 	free    []*event // recycled event structs
+	kinds   []TypedHandler
 	seq     uint64
-	stopped bool
 	fired   uint64
+	queued  int // events in the queue, including cancelled ones
+	live    int // queued minus cancelled — what Pending reports
+	stopped bool
 }
 
-// NewEngine returns an engine with its clock at zero.
+// NewEngine returns an engine with its clock at zero and the default 3 s
+// bucket width.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{
+		width: 3 * time.Second,
+		kinds: make([]TypedHandler, 1), // slot 0 is the closure kind
+	}
+}
+
+// SetBucketWidth sizes the calendar buckets, typically to the dominant
+// event period (the driver uses its heartbeat). It may only be called
+// while the queue is empty; non-positive widths panic.
+func (e *Engine) SetBucketWidth(w time.Duration) {
+	if w <= 0 {
+		panic(fmt.Sprintf("sim: SetBucketWidth(%v) non-positive", w))
+	}
+	if e.queued != 0 {
+		panic("sim: SetBucketWidth with events queued")
+	}
+	e.width = w
+	e.curBi = int64(e.now / w)
+}
+
+// RegisterKind adds h to the engine's typed-event jump table and returns
+// its kind for ScheduleKind. Kinds are registered once per run (per
+// handler, not per event); a nil handler panics.
+func (e *Engine) RegisterKind(h TypedHandler) EventKind {
+	if h == nil {
+		panic("sim: RegisterKind called with nil handler")
+	}
+	e.kinds = append(e.kinds, h)
+	return EventKind(len(e.kinds) - 1)
 }
 
 // Now returns the current virtual time, measured from simulation start.
@@ -89,17 +187,13 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are scheduled but not yet executed.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many events are scheduled but not yet executed,
+// excluding cancelled events awaiting collection.
+func (e *Engine) Pending() int { return e.live }
 
-// Schedule registers fn to run at absolute virtual time at, returning a
-// handle that can cancel it. Scheduling in the past (before Now) is a
-// programming error and panics, because it would silently corrupt
-// causality in the model.
-func (e *Engine) Schedule(at time.Duration, fn Handler) EventHandle {
-	if fn == nil {
-		panic("sim: Schedule called with nil handler")
-	}
+// alloc takes a struct from the free list (or the heap) and stamps it
+// with the next sequence number.
+func (e *Engine) alloc(at time.Duration) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: Schedule(%v) is before Now()=%v", at, e.now))
 	}
@@ -109,11 +203,24 @@ func (e *Engine) Schedule(at time.Duration, fn Handler) EventHandle {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn, ev.cancelled = at, e.seq, fn, false
 	} else {
-		ev = &event{at: at, seq: e.seq, fn: fn}
+		ev = &event{eng: e}
 	}
-	e.push(ev)
+	ev.at, ev.seq, ev.cancelled = at, e.seq, false
+	return ev
+}
+
+// Schedule registers fn to run at absolute virtual time at, returning a
+// handle that can cancel it. Scheduling in the past (before Now) is a
+// programming error and panics, because it would silently corrupt
+// causality in the model.
+func (e *Engine) Schedule(at time.Duration, fn Handler) EventHandle {
+	if fn == nil {
+		panic("sim: Schedule called with nil handler")
+	}
+	ev := e.alloc(at)
+	ev.kind, ev.fn = kindClosure, fn
+	e.insert(ev)
 	return EventHandle{ev: ev, gen: ev.gen}
 }
 
@@ -126,9 +233,33 @@ func (e *Engine) ScheduleAfter(d time.Duration, fn Handler) EventHandle {
 	return e.Schedule(e.now+d, fn)
 }
 
+// ScheduleKind registers a typed event at absolute virtual time at. The
+// payload (i, arg) is delivered to the kind's registered handler; arg
+// should be a pointer (or nil) so storing it does not box. Unregistered
+// kinds — including the zero EventKind — panic.
+func (e *Engine) ScheduleKind(at time.Duration, kind EventKind, i int, arg any) EventHandle {
+	if kind == kindClosure || int(kind) >= len(e.kinds) {
+		panic(fmt.Sprintf("sim: ScheduleKind with unregistered kind %d", kind))
+	}
+	ev := e.alloc(at)
+	ev.kind, ev.i, ev.arg = kind, int32(i), arg
+	e.insert(ev)
+	return EventHandle{ev: ev, gen: ev.gen}
+}
+
+// ScheduleKindAfter registers a typed event d after the current virtual
+// time. Negative d panics.
+func (e *Engine) ScheduleKindAfter(d time.Duration, kind EventKind, i int, arg any) EventHandle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: ScheduleKindAfter(%v) with negative delay", d))
+	}
+	return e.ScheduleKind(e.now+d, kind, i, arg)
+}
+
 // Every schedules fn at start and then every period thereafter, until the
-// simulation ends or until fn's returned false. It is the building block
-// for heartbeats and control intervals.
+// simulation ends or until fn's returned false. It is the closure-based
+// building block for periodic processes; hot loops use a typed kind that
+// reschedules itself instead.
 func (e *Engine) Every(start, period time.Duration, fn func() bool) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
@@ -158,40 +289,129 @@ func (e *Engine) Run() error {
 // run short, the clock is left at the horizon so energy integration over
 // [0, horizon] is exact; when the queue drains first, the clock stays at
 // the last event (the makespan), not the horizon.
+//
+// Cancelled events sitting at the head of the queue are collected (and
+// their structs recycled) before a horizon cut returns, so Pending and
+// Fired read the same whether a run was horizon-limited or drained.
 func (e *Engine) RunUntil(horizon time.Duration) error {
 	e.stopped = false
-	for len(e.queue) > 0 {
+	for e.queued > 0 {
 		if e.stopped {
 			return ErrStopped
 		}
-		next := e.queue[0]
+		next := e.peekLive()
+		if next == nil {
+			return nil
+		}
 		if horizon >= 0 && next.at > horizon {
 			e.now = horizon
 			return nil
 		}
-		e.pop()
-		if next.cancelled {
-			e.recycle(next)
-			continue
-		}
+		e.popActive()
+		e.queued--
+		e.live--
 		e.now = next.at
 		e.fired++
-		fn := next.fn
+		kind, i, arg, fn := next.kind, next.i, next.arg, next.fn
 		// Recycle before firing: the handler may Schedule new events that
 		// reuse this struct. The generation bump makes any handle still
 		// pointing at this occurrence inert (see EventHandle).
 		e.recycle(next)
-		fn()
+		if kind == kindClosure {
+			fn()
+		} else {
+			e.kinds[kind](int(i), arg)
+		}
 	}
 	return nil
 }
 
+// peekLive returns the earliest non-cancelled event without removing it,
+// draining (and recycling) any cancelled events encountered at the head
+// of the queue. Returns nil when the queue holds no live events.
+func (e *Engine) peekLive() *event {
+	for {
+		for len(e.active) == 0 {
+			if e.queued == 0 {
+				return nil
+			}
+			e.advance()
+		}
+		top := e.active[0]
+		if !top.cancelled {
+			return top
+		}
+		e.popActive()
+		e.queued--
+		e.recycle(top)
+	}
+}
+
+// advance moves the calendar to the next populated bucket: the active
+// bucket's ring slice is pushed onto the active heap together with any
+// overflow events whose bucket the window has reached. When the ring is
+// empty the window jumps straight to the overflow head's bucket.
+func (e *Engine) advance() {
+	if e.ringN == 0 {
+		if len(e.over) == 0 {
+			return // queue truly empty; caller rechecks queued
+		}
+		bi := int64(e.over[0].at / e.width)
+		if bi > e.curBi {
+			e.curBi = bi
+		}
+	} else {
+		e.curBi++
+	}
+	// Pull overflow events whose bucket is now active. Events farther out
+	// stay put; they are pulled when the window reaches their bucket, so
+	// they can never fire out of order with ring events.
+	for len(e.over) > 0 && int64(e.over[0].at/e.width) <= e.curBi {
+		e.active = heapPush(e.active, heapPop(&e.over))
+	}
+	slot := &e.buckets[e.curBi%numBuckets]
+	if len(*slot) > 0 {
+		for _, ev := range *slot {
+			e.active = heapPush(e.active, ev)
+		}
+		e.ringN -= len(*slot)
+		clearEvents(*slot)
+		*slot = (*slot)[:0]
+	}
+}
+
+// insert files ev into the calendar: the active heap for the current
+// bucket (or anything already reachable), a ring bucket inside the
+// window, or the overflow heap beyond it.
+func (e *Engine) insert(ev *event) {
+	e.queued++
+	e.live++
+	bi := int64(ev.at / e.width)
+	switch {
+	case bi <= e.curBi:
+		e.active = heapPush(e.active, ev)
+	case bi < e.curBi+numBuckets:
+		e.buckets[bi%numBuckets] = append(e.buckets[bi%numBuckets], ev)
+		e.ringN++
+	default:
+		e.over = heapPush(e.over, ev)
+	}
+}
+
+// popActive removes the minimum event from the active heap.
+func (e *Engine) popActive() { heapPop(&e.active) }
+
 // recycle retires a popped event struct onto the free list, bumping its
-// generation so outstanding handles cannot touch its next occupant.
+// generation so outstanding handles cannot touch its next occupant. Past
+// the high-water mark the struct is dropped to the garbage collector
+// instead (see maxFreeEvents).
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
-	ev.fn = nil // release the closure
-	e.free = append(e.free, ev)
+	ev.fn = nil  // release the closure
+	ev.arg = nil // release the typed payload
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
 }
 
 // less orders events by (time, sequence): earlier first; among same-time
@@ -203,9 +423,17 @@ func less(a, b *event) bool {
 	return a.seq < b.seq
 }
 
-// push inserts ev into the heap.
-func (e *Engine) push(ev *event) {
-	q := append(e.queue, ev)
+// clearEvents nils a drained bucket slice so the retained capacity holds
+// no stale pointers.
+func clearEvents(s []*event) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
+// heapPush inserts ev into the (at, seq) min-heap q.
+func heapPush(q []*event, ev *event) []*event {
+	q = append(q, ev)
 	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -215,12 +443,13 @@ func (e *Engine) push(ev *event) {
 		q[i], q[parent] = q[parent], q[i]
 		i = parent
 	}
-	e.queue = q
+	return q
 }
 
-// pop removes the minimum event from the heap.
-func (e *Engine) pop() {
-	q := e.queue
+// heapPop removes and returns the minimum event of *qp.
+func heapPop(qp *[]*event) *event {
+	q := *qp
+	top := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
 	q[n] = nil
@@ -241,5 +470,6 @@ func (e *Engine) pop() {
 		q[i], q[child] = q[child], q[i]
 		i = child
 	}
-	e.queue = q
+	*qp = q
+	return top
 }
