@@ -483,19 +483,33 @@ func scaledTestbed(tb testing.TB, factor int) *Cluster {
 // the per-heartbeat hot path. Flat ns/offer across cluster sizes is the
 // O(1)-assignment claim the incremental aggregates and per-interval
 // indices exist to deliver.
+//
+// Each cell measures the warm-run steady state: the world (cluster,
+// driver, scheduler) is built and primed once before the timer, and every
+// measured iteration resets it in place via Runner — so allocs/op is the
+// true per-run residual of a sweep, not the one-time construction cost.
+// The priming run is what a cold iteration used to be; BenchmarkRunManyWarm
+// keeps the cold-vs-warm comparison measurable side by side.
 func scaleRun(b *testing.B, sched Scheduler, factor, jobs int) {
 	b.ReportAllocs()
-	specs := MSDWorkload(jobs, 7)
+	spec := RunSpec{
+		Cluster:   scaledTestbed(b, factor),
+		Scheduler: sched,
+		Jobs:      MSDWorkload(jobs, 7),
+		Seed:      7,
+	}
+	runner, err := NewRunner(spec.Cluster)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := runner.Run(spec); err != nil { // prime: build + first run
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	offers := 0
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
-		r, err := Run(RunSpec{
-			Cluster:   scaledTestbed(b, factor),
-			Scheduler: sched,
-			Jobs:      specs,
-			Seed:      7,
-		})
+		r, err := runner.Run(spec)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -533,6 +547,49 @@ func BenchmarkScaleBaselines(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkRunManyWarm measures the sweep-level payoff of per-worker
+// world reuse. Both sub-benchmarks push the same 8-spec scheduler ×
+// workload grid through RunMany; "cold" gives every spec its own cluster
+// clone, forcing each worker to rebuild its world per spec (the pre-Runner
+// behaviour), while "warm" points every spec at one shared cluster so each
+// worker constructs its world once and resets it between specs. The
+// allocs/op gap between the two is the construction cost the warm path
+// deletes from sweeps.
+func BenchmarkRunManyWarm(b *testing.B) {
+	const workers = 4
+	jobGrid := [][]Job{MSDWorkload(5, 7), MSDWorkload(15, 7)}
+	schedGrid := []Scheduler{SchedulerEAnt, SchedulerFair, SchedulerTarazu, SchedulerFIFO}
+	buildSpecs := func(cl func() *Cluster) []RunSpec {
+		var specs []RunSpec
+		for _, jobs := range jobGrid {
+			for _, s := range schedGrid {
+				specs = append(specs, RunSpec{Cluster: cl(), Scheduler: s, Jobs: jobs, Seed: 7})
+			}
+		}
+		return specs
+	}
+	run := func(b *testing.B, specs []RunSpec) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			results, err := RunMany(specs, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != len(specs) {
+				b.Fatal("short sweep")
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		base := PaperTestbed()
+		run(b, buildSpecs(func() *Cluster { return base.Clone() }))
+	})
+	b.Run("warm", func(b *testing.B) {
+		shared := PaperTestbed()
+		run(b, buildSpecs(func() *Cluster { return shared }))
+	})
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: completed

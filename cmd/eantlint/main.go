@@ -1,7 +1,8 @@
 // Command eantlint is the project's multichecker: it runs the
 // internal/analysis suite — rngonly, noclock, maporder, floatsum,
-// statsmut — over every package of this module and reports violations of
-// the simulator's determinism and hot-path contracts.
+// statsmut, hotclosure, resetstate — over every package of this module
+// and reports violations of the simulator's determinism and hot-path
+// contracts.
 //
 // Usage:
 //

@@ -28,7 +28,7 @@ func TestAnalyzersFlagListsSuite(t *testing.T) {
 	if code := run([]string{"-analyzers"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
-	for _, name := range []string{"rngonly", "noclock", "maporder", "floatsum", "statsmut"} {
+	for _, name := range []string{"rngonly", "noclock", "maporder", "floatsum", "statsmut", "hotclosure", "resetstate"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-analyzers output missing %s:\n%s", name, out.String())
 		}

@@ -270,44 +270,69 @@ type Result struct {
 	Stats *mapreduce.Stats
 }
 
-// Run executes the campaign described by spec.
-func Run(spec RunSpec) (*Result, error) {
-	if spec.Cluster == nil {
-		return nil, fmt.Errorf("eant: RunSpec.Cluster is required")
+// eantParams resolves the E-Ant parameters of a spec.
+func eantParams(spec RunSpec) EAntParams {
+	if spec.EAntParams != nil {
+		return *spec.EAntParams
 	}
-	if len(spec.Jobs) == 0 {
-		return nil, fmt.Errorf("eant: RunSpec.Jobs is empty")
-	}
-	var s mapreduce.Scheduler
+	return core.DefaultParams()
+}
+
+// newScheduler constructs a fresh scheduler instance for the spec.
+func newScheduler(spec RunSpec) (mapreduce.Scheduler, error) {
 	switch spec.Scheduler {
 	case SchedulerEAnt:
-		params := core.DefaultParams()
-		if spec.EAntParams != nil {
-			params = *spec.EAntParams
-		}
-		e, err := core.NewEAnt(params)
+		e, err := core.NewEAnt(eantParams(spec))
 		if err != nil {
 			return nil, fmt.Errorf("eant: %w", err)
 		}
-		s = e
+		return e, nil
 	case SchedulerFair:
-		s = sched.NewFair()
+		return sched.NewFair(), nil
 	case SchedulerTarazu:
-		s = sched.NewTarazu()
+		return sched.NewTarazu(), nil
 	case SchedulerFIFO:
-		s = sched.NewFIFO()
+		return sched.NewFIFO(), nil
 	case SchedulerLATE:
-		s = sched.NewLATE()
+		return sched.NewLATE(), nil
 	case SchedulerCapacity:
-		var err error
-		s, err = sched.NewCapacity(nil, nil)
+		s, err := sched.NewCapacity(nil, nil)
 		if err != nil {
 			return nil, fmt.Errorf("eant: %w", err)
 		}
+		return s, nil
 	default:
 		return nil, fmt.Errorf("eant: unknown scheduler %q", spec.Scheduler)
 	}
+}
 
+// resetScheduler returns a cached scheduler instance to its pre-run state
+// for the given spec, adopting the spec's parameters where the policy has
+// any (E-Ant sweeps vary them between runs of one warm world).
+func resetScheduler(s mapreduce.Scheduler, spec RunSpec) error {
+	switch sc := s.(type) {
+	case *core.EAnt:
+		if err := sc.ResetForRun(eantParams(spec)); err != nil {
+			return fmt.Errorf("eant: %w", err)
+		}
+	case *sched.Fair:
+		sc.ResetForRun()
+	case *sched.Tarazu:
+		sc.ResetForRun()
+	case *sched.LATE:
+		sc.ResetForRun()
+	case *sched.FIFO:
+		sc.ResetForRun()
+	case *sched.Capacity:
+		sc.ResetForRun()
+	default:
+		return fmt.Errorf("eant: cannot reset scheduler %q for reuse", s.Name())
+	}
+	return nil
+}
+
+// specConfig translates a RunSpec into the driver configuration.
+func specConfig(spec RunSpec) mapreduce.Config {
 	cfg := mapreduce.DefaultConfig()
 	cfg.Seed = spec.Seed
 	cfg.KeepTaskRecords = spec.KeepTaskRecords
@@ -329,19 +354,19 @@ func Run(spec RunSpec) (*Result, error) {
 		cfg.Fault = *spec.Faults
 	}
 	cfg.Probe = spec.Probe
+	return cfg
+}
 
-	driver, err := mapreduce.NewDriver(spec.Cluster, s, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("eant: %w", err)
+// specHorizon resolves the spec's virtual-duration cap.
+func specHorizon(spec RunSpec) time.Duration {
+	if spec.Horizon > 0 {
+		return spec.Horizon
 	}
-	horizon := spec.Horizon
-	if horizon <= 0 {
-		horizon = 48 * time.Hour
-	}
-	stats, err := driver.Run(spec.Jobs, horizon)
-	if err != nil {
-		return nil, fmt.Errorf("eant: %w", err)
-	}
+	return 48 * time.Hour
+}
+
+// resultFromStats wraps a run's statistics as the public Result.
+func resultFromStats(stats *mapreduce.Stats) *Result {
 	return &Result{
 		TotalJoules:     stats.TotalJoules,
 		Makespan:        stats.Horizon,
@@ -349,7 +374,113 @@ func Run(spec RunSpec) (*Result, error) {
 		TypeJoules:      stats.TypeJoules,
 		TypeUtilization: stats.TypeAvgUtil,
 		Stats:           stats,
+	}
+}
+
+// Run executes the campaign described by spec.
+func Run(spec RunSpec) (*Result, error) {
+	if spec.Cluster == nil {
+		return nil, fmt.Errorf("eant: RunSpec.Cluster is required")
+	}
+	if len(spec.Jobs) == 0 {
+		return nil, fmt.Errorf("eant: RunSpec.Jobs is empty")
+	}
+	s, err := newScheduler(spec)
+	if err != nil {
+		return nil, err
+	}
+	driver, err := mapreduce.NewDriver(spec.Cluster, s, specConfig(spec))
+	if err != nil {
+		return nil, fmt.Errorf("eant: %w", err)
+	}
+	stats, err := driver.Run(spec.Jobs, specHorizon(spec))
+	if err != nil {
+		return nil, fmt.Errorf("eant: %w", err)
+	}
+	return resultFromStats(stats), nil
+}
+
+// Runner is a reusable simulation world: it owns a private clone of one
+// cluster plus the driver built over it, and runs campaign after campaign
+// by resetting that world in place instead of rebuilding it. For sweeps
+// of many runs over one fleet this removes the per-run construction of
+// the cluster, HDFS namespace, event queue, job/task structures and
+// scheduler state — the dominant allocation cost of short runs.
+//
+// Every warm run is bit-identical to a cold Run of the same spec
+// (golden-enforced): each reset rewinds the RNG streams to the seeds a
+// fresh driver would fork and returns every piece of retained state to
+// its freshly-constructed value. A Runner is not safe for concurrent use;
+// RunMany keeps one per worker.
+type Runner struct {
+	source  *Cluster // the caller's cluster, identity-checked in Run
+	cluster *Cluster // private clone the runs execute on
+	driver  *mapreduce.Driver
+	// scheds caches one scheduler instance per policy, reset between runs
+	// (an E-Ant kept warm retains its pooled colonies and scratch buffers).
+	scheds map[Scheduler]mapreduce.Scheduler
+}
+
+// NewRunner builds a reusable world over c. The cluster is cloned once;
+// later mutations of c are not observed.
+func NewRunner(c *Cluster) (*Runner, error) {
+	if c == nil {
+		return nil, fmt.Errorf("eant: NewRunner with nil cluster")
+	}
+	return &Runner{
+		source:  c,
+		cluster: c.Clone(),
+		scheds:  make(map[Scheduler]mapreduce.Scheduler),
 	}, nil
+}
+
+// Run executes one campaign on the warm world. spec.Cluster must be nil
+// or the cluster the Runner was built from; everything else in the spec
+// may change freely between runs (scheduler, jobs, seed, noise, faults,
+// consolidation, probe).
+func (r *Runner) Run(spec RunSpec) (*Result, error) {
+	if spec.Cluster != nil && spec.Cluster != r.source {
+		return nil, fmt.Errorf("eant: Runner.Run with a different cluster than NewRunner")
+	}
+	if len(spec.Jobs) == 0 {
+		return nil, fmt.Errorf("eant: RunSpec.Jobs is empty")
+	}
+	s, err := r.schedulerFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := specConfig(spec)
+	if r.driver == nil {
+		d, err := mapreduce.NewDriver(r.cluster, s, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("eant: %w", err)
+		}
+		r.driver = d
+	} else if err := r.driver.Reset(s, cfg); err != nil {
+		return nil, fmt.Errorf("eant: %w", err)
+	}
+	stats, err := r.driver.Run(spec.Jobs, specHorizon(spec))
+	if err != nil {
+		return nil, fmt.Errorf("eant: %w", err)
+	}
+	return resultFromStats(stats), nil
+}
+
+// schedulerFor returns the cached, freshly-reset scheduler for the spec's
+// policy, constructing and caching it on first use.
+func (r *Runner) schedulerFor(spec RunSpec) (mapreduce.Scheduler, error) {
+	if s, ok := r.scheds[spec.Scheduler]; ok {
+		if err := resetScheduler(s, spec); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	s, err := newScheduler(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.scheds[spec.Scheduler] = s
+	return s, nil
 }
 
 // RunMany executes independent campaigns concurrently on a bounded worker
@@ -358,29 +489,45 @@ func Run(spec RunSpec) (*Result, error) {
 // workers == 1 runs sequentially. Each result is bit-identical to what a
 // sequential Run of the same spec produces: every run owns its engine,
 // RNG streams and scheduler, and result ordering never depends on
-// completion timing. When several specs name the same *Cluster it is
-// cloned per run, so concurrent runs never share machine state. On error,
-// RunMany reports the error of the lowest-index failing spec.
+// completion timing. On error, RunMany reports the error of the
+// lowest-index failing spec.
+//
+// Each worker keeps one warm Runner and resets it between the specs it
+// claims, so consecutive runs over the same cluster rebuild nothing —
+// sweeps pay the world-construction cost at most once per worker. A spec
+// naming a different cluster than the worker's current Runner rebuilds
+// that worker's world; interleaved-cluster sweeps therefore still work,
+// just without reuse across the switches. Clusters are always cloned into
+// the Runners, so concurrent runs never share machine state and the
+// caller's clusters are never mutated.
 func RunMany(specs []RunSpec, workers int) ([]*Result, error) {
-	// Count *Cluster sharing up front; a cluster used by exactly one spec
-	// is passed through untouched (same observable behavior as Run).
-	uses := make(map[*Cluster]int, len(specs))
-	for _, s := range specs {
-		uses[s.Cluster]++
+	type slot struct {
+		source *Cluster
+		runner *Runner
 	}
-	return parallel.Map(len(specs), workers, func(i int) (*Result, error) {
+	slots := make([]slot, parallel.Workers(len(specs), workers))
+	return parallel.MapWorkers(len(specs), workers, func(worker, i int) (*Result, error) {
 		spec := specs[i]
-		if spec.Cluster != nil && uses[spec.Cluster] > 1 {
-			spec.Cluster = spec.Cluster.Clone()
+		if spec.Cluster == nil {
+			return nil, fmt.Errorf("eant: RunSpec.Cluster is required")
 		}
-		return Run(spec)
+		sl := &slots[worker]
+		if sl.runner == nil || sl.source != spec.Cluster {
+			r, err := NewRunner(spec.Cluster)
+			if err != nil {
+				return nil, err
+			}
+			sl.source, sl.runner = spec.Cluster, r
+		}
+		return sl.runner.Run(spec)
 	})
 }
 
 // Compare runs the same jobs under several schedulers (concurrently, on
-// the RunMany worker pool) and returns the results keyed by scheduler,
-// plus E-Ant's saving in percent over each baseline (positive = E-Ant
-// used less energy).
+// the RunMany worker pool, so cluster and world construction is shared
+// across the schedulers each worker runs) and returns the results keyed
+// by scheduler, plus E-Ant's saving in percent over each baseline
+// (positive = E-Ant used less energy).
 func Compare(spec RunSpec, schedulers ...Scheduler) (map[Scheduler]*Result, map[Scheduler]float64, error) {
 	if len(schedulers) == 0 {
 		schedulers = Schedulers()

@@ -1,9 +1,10 @@
-// Package analysis is the simulator's static-analysis suite: six
+// Package analysis is the simulator's static-analysis suite: seven
 // analyzers that machine-check the determinism and hot-path contracts the
 // reproduction depends on (seeded runs must be bit-identical, the virtual
 // clock is the only clock, the PR-3 incremental aggregates must never
-// desynchronize from ground truth, and the hot event paths must schedule
-// through typed kinds rather than per-event closures).
+// desynchronize from ground truth, the hot event paths must schedule
+// through typed kinds rather than per-event closures, and warm-run Reset
+// paths must account for every field of the structs they reuse).
 //
 // The framework deliberately mirrors the core shapes of
 // golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — so each
@@ -130,5 +131,5 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{RngOnly, NoClock, MapOrder, FloatSum, StatsMut, HotClosure}
+	return []*Analyzer{RngOnly, NoClock, MapOrder, FloatSum, StatsMut, HotClosure, ResetState}
 }

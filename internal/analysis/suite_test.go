@@ -26,6 +26,7 @@ var fixtures = []struct {
 	{"statsmut_driver", analysis.StatsMut},
 	{"statsmut_sched", analysis.StatsMut},
 	{"hotclosure_driver", analysis.HotClosure},
+	{"resetstate", analysis.ResetState},
 }
 
 func TestFixtures(t *testing.T) {
@@ -44,8 +45,8 @@ func TestSuiteComplete(t *testing.T) {
 		covered[f.analyzer.Name] = true
 	}
 	all := analysis.All()
-	if len(all) != 6 {
-		t.Fatalf("All() has %d analyzers, want 6", len(all))
+	if len(all) != 7 {
+		t.Fatalf("All() has %d analyzers, want 7", len(all))
 	}
 	for _, a := range all {
 		if !covered[a.Name] {

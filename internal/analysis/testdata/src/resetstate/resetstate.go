@@ -1,0 +1,36 @@
+//eantlint:path eantlint/fixture/resetstate
+
+// Fixture: a resettable struct must account for every field in its Reset
+// path — cleared directly, re-derived in a helper, or annotated
+// //eant:reset-keep with a reason.
+package resetstate
+
+type World struct {
+	clock   int
+	queue   []int
+	scratch []byte // cleared by the drain helper, reachable from Reset
+	catalog []string
+	leaked  map[int]int // want `field World\.leaked is not referenced by World\.Reset`
+	//eant:reset-keep
+	badKeep int // want `//eant:reset-keep annotation needs a one-line reason`
+}
+
+func (w *World) Reset() {
+	w.clock = 0
+	w.queue = w.queue[:0]
+	w.drain()
+	_ = w.catalog // read counts: the reset path considered the field
+}
+
+func (w *World) drain() {
+	w.scratch = w.scratch[:0]
+}
+
+type Annotated struct {
+	pool []int //eant:reset-keep recycled buffers are the point of reuse
+	used int
+}
+
+func (a *Annotated) Reset() {
+	a.used = 0
+}

@@ -73,8 +73,8 @@ func (s *TypeSpec) Validate() error {
 // Machine is one slave node. Slot occupancy is plain state mutated by the
 // single-threaded simulation loop; Machine is not safe for concurrent use.
 type Machine struct {
-	ID   int
-	Spec *TypeSpec
+	ID   int       //eant:reset-keep machine identity is fixed at construction
+	Spec *TypeSpec //eant:reset-keep hardware type is immutable configuration
 
 	runningMap    int
 	runningReduce int
@@ -243,7 +243,7 @@ func (m *Machine) addUtil(d float64) {
 // Cluster is an ordered fleet of machines with a type index.
 type Cluster struct {
 	machines []*Machine
-	byType   map[string][]*Machine
+	byType   map[string][]*Machine //eant:reset-keep index over the fixed fleet; Reset mutates the machines it points at
 }
 
 // New builds a cluster from counts of each spec, assigning stable IDs in
@@ -298,6 +298,21 @@ func (c *Cluster) Clone() *Cluster {
 		out.byType[m.Spec.Name] = append(out.byType[m.Spec.Name], nm)
 	}
 	return out
+}
+
+// Reset zeroes every machine's transient state (slot occupancy,
+// utilization, sleep, crash flags), returning the fleet to the condition a
+// fresh Clone starts in. Warm-run reuse calls it between runs instead of
+// re-cloning.
+func (c *Cluster) Reset() {
+	for _, m := range c.machines {
+		m.runningMap = 0
+		m.runningReduce = 0
+		m.util = 0
+		m.asleep = false
+		m.sleepWatts = 0
+		m.dead = false
+	}
 }
 
 // Machines returns the fleet in ID order. The slice is shared; callers must

@@ -29,6 +29,7 @@ type EAnt struct {
 
 	// typeGroups caches machine IDs per hardware type for the
 	// machine-level exchange; built on first use.
+	//eant:reset-keep pure function of the cluster, which a Runner never swaps
 	typeGroups [][]int
 
 	// trackTrails enables per-control-tick snapshots of every colony's
@@ -40,11 +41,11 @@ type EAnt struct {
 	// assignment allocates nothing. Safe because a scheduler instance is
 	// owned by exactly one single-threaded driver (see DESIGN.md's
 	// concurrency model).
-	scratchJobs    []*mapreduce.Job
-	scratchCols    []*colony
-	scratchWeights []float64
-	scratchAvail   []bool
-	unavailable    []bool
+	scratchJobs    []*mapreduce.Job //eant:reset-keep scratch, fully overwritten before every read
+	scratchCols    []*colony        //eant:reset-keep scratch, fully overwritten before every read
+	scratchWeights []float64        //eant:reset-keep scratch, fully overwritten before every read
+	scratchAvail   []bool           //eant:reset-keep scratch, fully overwritten before every read
+	unavailable    []bool           //eant:reset-keep maintained by OnMachineDown/Up, which replay from the driver's reset fault state
 
 	// Per-control-interval index state. Trails only change at the control
 	// tick, so each map colony's trail-ranked host view (hostIndex) is
@@ -70,11 +71,11 @@ type hostIndex struct {
 	epoch  uint64 // availability epoch when built (crash/recover invalidates)
 	listed uint64 // e.tickSeq when appended to e.indexed
 
-	ids         []int     // available machine IDs in rank order
-	vals        []float64 // trail values in rank order (non-increasing)
-	prefixSlots []int     // prefixSlots[r] = Σ MapSlots over ranks [0, r)
-	rankOf      []int     // machine ID → rank; -1 when unlisted (dead)
-	freeBuckets []int     // Σ FreeMapSlots per 64-rank bucket, kept live
+	ids         []int     //eant:reset-keep rebuilt wholesale when the tick/epoch stamps mismatch
+	vals        []float64 //eant:reset-keep rebuilt wholesale when the tick/epoch stamps mismatch
+	prefixSlots []int     //eant:reset-keep rebuilt wholesale when the tick/epoch stamps mismatch
+	rankOf      []int     //eant:reset-keep rebuilt wholesale when the tick/epoch stamps mismatch
+	freeBuckets []int     //eant:reset-keep rebuilt wholesale when the tick/epoch stamps mismatch
 }
 
 // countAtLeast returns how many ranked machines have trail ≥ threshold.
@@ -117,6 +118,35 @@ func MustNewEAnt(p Params) *EAnt {
 
 var _ mapreduce.Scheduler = (*EAnt)(nil)
 var _ mapreduce.SlotObserver = (*EAnt)(nil)
+
+// ResetForRun returns the scheduler to its pre-run state in place so the
+// same instance can drive another simulation over the same cluster,
+// adopting new parameters (sweeps vary Beta and friends between runs of
+// one warm world). The pheromone matrix, the cached type groups and every
+// scratch buffer are kept; colonies are recycled through the matrix pool.
+// After the reset the first offer's init fast path still short-circuits
+// (mx stays non-nil), so state here must match a fresh initSlow exactly.
+func (e *EAnt) ResetForRun(p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	e.p = p
+	if e.mx != nil {
+		if err := e.mx.Clear(p); err != nil {
+			return err
+		}
+		e.tickSeq = 1
+		for i := range e.indexed {
+			e.indexed[i] = nil
+		}
+		e.indexed = e.indexed[:0]
+		clear(e.reduceMeans)
+	}
+	if e.trackTrails {
+		e.trails = make(map[ColonyKey][]TrailSnapshot)
+	}
+	return nil
+}
 
 // OnSlotFreeChange implements mapreduce.SlotObserver: the driver reports
 // every ±1 free-slot transition, and the current interval's host indices

@@ -37,8 +37,8 @@ type colony struct {
 
 	// delta/count are Update scratch: per-machine deposit and feedback
 	// count for the current interval. Valid only while hasDelta is set.
-	delta    []float64
-	count    []int
+	delta    []float64 //eant:reset-keep Update scratch, valid only while hasDelta (which reuse clears)
+	count    []int     //eant:reset-keep Update scratch, valid only while hasDelta (which reuse clears)
 	hasDelta bool
 
 	// idx is the colony's per-control-interval host index (E-Ant's decline
@@ -61,9 +61,15 @@ type colony struct {
 // depending on Go's randomized map iteration.
 type Matrix struct {
 	p        Params
-	machines int
+	machines int //eant:reset-keep pure function of the cluster size, fixed for the matrix's lifetime
 	index    map[ColonyKey]int
 	cols     []*colony
+
+	// pool recycles retired colonies (their row/pending/delta/count/idx
+	// buffers) so a warm rerun of the same workload allocates no new colony
+	// state. Acquisition re-initializes every reused field, so a pooled
+	// colony is observationally identical to a fresh one.
+	pool []*colony
 }
 
 // NewMatrix returns an empty pheromone matrix over the given machine count.
@@ -101,7 +107,27 @@ func (mx *Matrix) colonyFor(key ColonyKey) *colony {
 	if i, ok := mx.index[key]; ok {
 		return mx.cols[i]
 	}
-	row := make([]float64, mx.machines)
+	var c *colony
+	if n := len(mx.pool); n > 0 {
+		c = mx.pool[n-1]
+		mx.pool[n-1] = nil
+		mx.pool = mx.pool[:n-1]
+		for i := range c.row {
+			c.row[i] = 0
+		}
+		c.pending = c.pending[:0]
+		c.hasDelta = false
+		if c.idx != nil {
+			// The index stamps compare against the owning EAnt's tickSeq
+			// and availability epoch, both of which restart on a warm run;
+			// a stale stamp could alias a live interval, so force rebuild.
+			c.idx.tick, c.idx.epoch, c.idx.listed = 0, 0, 0
+		}
+	} else {
+		c = &colony{row: make([]float64, mx.machines)}
+	}
+	c.key = key
+	row := c.row
 	donors := 0
 	if mx.p.JobExchange {
 		// Average every same-group colony's trails (not just one picked
@@ -123,7 +149,6 @@ func (mx *Matrix) colonyFor(key ColonyKey) *colony {
 			row[i] = mx.p.InitTau
 		}
 	}
-	c := &colony{key: key, row: row}
 	mx.index[key] = len(mx.cols)
 	mx.cols = append(mx.cols, c)
 	return c
@@ -193,11 +218,13 @@ func (mx *Matrix) RetireInactive(active func(jobID int) bool) {
 }
 
 // retire compacts the colony table, dropping entries matching gone.
+// Dropped colonies move to the recycling pool.
 func (mx *Matrix) retire(gone func(ColonyKey) bool) {
 	kept := mx.cols[:0]
 	for _, c := range mx.cols {
 		if gone(c.key) {
 			delete(mx.index, c.key)
+			mx.pool = append(mx.pool, c)
 			continue
 		}
 		mx.index[c.key] = len(kept)
@@ -207,6 +234,23 @@ func (mx *Matrix) retire(gone func(ColonyKey) bool) {
 		mx.cols[i] = nil
 	}
 	mx.cols = kept
+}
+
+// Clear retires every colony into the recycling pool and adopts the given
+// parameters, returning the matrix to the state NewMatrix(machines, p)
+// leaves it in while keeping every allocated buffer. p must validate.
+func (mx *Matrix) Clear(p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	mx.p = p
+	for i, c := range mx.cols {
+		mx.pool = append(mx.pool, c)
+		mx.cols[i] = nil
+	}
+	mx.cols = mx.cols[:0]
+	clear(mx.index)
+	return nil
 }
 
 // Update folds the interval's feedback into the trails:

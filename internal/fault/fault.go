@@ -170,6 +170,20 @@ func NewInjector(cfg Config, rng *sim.RNG) (*Injector, error) {
 // Config returns the injector's (defaulted) configuration.
 func (in *Injector) Config() Config { return in.cfg }
 
+// Reset reconfigures the injector in place and rewinds its RNG stream to
+// the given seed, exactly reproducing a fresh NewInjector(cfg, NewRNG(seed)).
+func (in *Injector) Reset(cfg Config, seed int64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Enabled() {
+		cfg.SetDefaults()
+	}
+	in.cfg = cfg
+	in.rng.Reseed(seed)
+	return nil
+}
+
 // Enabled reports whether the injector will do anything at all.
 func (in *Injector) Enabled() bool { return in.cfg.Enabled() }
 

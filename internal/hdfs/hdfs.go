@@ -30,8 +30,8 @@ type File struct {
 // Namespace places and resolves input files. Not safe for concurrent use;
 // the simulation loop is single-threaded.
 type Namespace struct {
-	cluster     *cluster.Cluster
-	replication int
+	cluster     *cluster.Cluster //eant:reset-keep the namespace serves one fixed fleet for its lifetime
+	replication int              //eant:reset-keep configuration fixed at construction
 	files       map[int]*File
 	// blocksHeld counts replicas per machine, used to balance placement.
 	blocksHeld []int
@@ -41,6 +41,9 @@ type Namespace struct {
 	// machines (the consolidation covering subset).
 	covering []int
 	rng      *sim.RNG
+	// recycled holds Files retired by Reset, keyed by job ID, so a warm
+	// rerun of the same workload re-places into the same backing arrays.
+	recycled map[int]*File
 }
 
 // NewNamespace returns an empty namespace over c. replication is clamped
@@ -63,6 +66,27 @@ func NewNamespace(c *cluster.Cluster, replication int, rng *sim.RNG) *Namespace 
 
 // Replication returns the effective replica count.
 func (ns *Namespace) Replication() int { return ns.replication }
+
+// Reset empties the namespace and rewinds its RNG stream to the given
+// seed, so a subsequent identical Place sequence reproduces the original
+// placements bit for bit. Retired Files move to a recycling pool keyed by
+// job ID; exclusions and the covering constraint are dropped (the driver
+// re-applies them before placing).
+func (ns *Namespace) Reset(seed int64) {
+	if ns.recycled == nil {
+		ns.recycled = make(map[int]*File, len(ns.files))
+	}
+	for id, f := range ns.files {
+		ns.recycled[id] = f
+	}
+	clear(ns.files)
+	for i := range ns.blocksHeld {
+		ns.blocksHeld[i] = 0
+	}
+	ns.excluded = nil
+	ns.covering = nil
+	ns.rng.Reseed(seed)
+}
 
 // PreferFirstReplicaOn constrains every future block's *first* replica to
 // the given machine set — the "covering subset" of Leverich & Kozyrakis
@@ -103,9 +127,14 @@ func (ns *Namespace) Place(jobID, blocks int) (*File, error) {
 	if blocks <= 0 {
 		return nil, fmt.Errorf("hdfs: job %d has %d blocks", jobID, blocks)
 	}
-	f := &File{JobID: jobID, Blocks: make([][]int, blocks)}
+	f := ns.recycled[jobID]
+	if f != nil && len(f.Blocks) == blocks {
+		delete(ns.recycled, jobID)
+	} else {
+		f = &File{JobID: jobID, Blocks: make([][]int, blocks)}
+	}
 	for b := 0; b < blocks; b++ {
-		f.Blocks[b] = ns.pickReplicas()
+		f.Blocks[b] = ns.pickReplicas(f.Blocks[b][:0])
 	}
 	ns.files[jobID] = f
 	return f, nil
@@ -113,8 +142,10 @@ func (ns *Namespace) Place(jobID, blocks int) (*File, error) {
 
 // pickReplicas selects replication distinct placeable machines, preferring
 // machines holding fewer replicas (power-of-two-choices balancing with
-// random tie-breaking).
-func (ns *Namespace) pickReplicas() []int {
+// random tie-breaking). The result is built in dst's backing array when it
+// has capacity. Membership tests scan the (≤ replication-long) result
+// directly — same draws, no per-block map.
+func (ns *Namespace) pickReplicas(dst []int) []int {
 	n := ns.cluster.Size()
 	placeable := n - len(ns.excluded)
 	if placeable <= 0 {
@@ -124,9 +155,16 @@ func (ns *Namespace) pickReplicas() []int {
 	if reps > placeable {
 		reps = placeable
 	}
-	chosen := make([]int, 0, reps)
-	used := make(map[int]bool, reps)
-	usable := func(id int) bool { return !used[id] && !ns.excluded[id] }
+	chosen := dst[:0]
+	inChosen := func(id int) bool {
+		for _, c := range chosen {
+			if c == id {
+				return true
+			}
+		}
+		return false
+	}
+	usable := func(id int) bool { return !inChosen(id) && !ns.excluded[id] }
 	if len(ns.covering) > 0 {
 		// First replica on the least-loaded covering machine (random
 		// tie-break via a two-candidate draw).
@@ -137,7 +175,6 @@ func (ns *Namespace) pickReplicas() []int {
 			pick = b
 		}
 		if usable(pick) {
-			used[pick] = true
 			ns.blocksHeld[pick]++
 			chosen = append(chosen, pick)
 		}
@@ -169,7 +206,6 @@ func (ns *Namespace) pickReplicas() []int {
 				}
 			}
 		}
-		used[pick] = true
 		ns.blocksHeld[pick]++
 		chosen = append(chosen, pick)
 	}

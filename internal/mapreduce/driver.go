@@ -170,7 +170,7 @@ type Driver struct {
 	// path computes no event arguments and allocates nothing.
 	probe *probe.Probe
 
-	jobs             []*Job
+	jobs             []*Job //eant:reset-keep reused by Run's warm gate when the new specs match
 	active           []*Job
 	unsubmit         int
 	totalSlots       int
@@ -197,6 +197,7 @@ type Driver struct {
 
 	// sampleBuf backs estimateJoules' per-completion sample slice (at most
 	// shuffle + compute), keeping the completion path allocation-free.
+	//eant:reset-keep per-completion scratch, fully overwritten before every read
 	sampleBuf [2]power.TaskSample
 
 	// agg is the incremental-statistics layer serving the scheduler hot
@@ -204,25 +205,30 @@ type Driver struct {
 	// machine type in sorted type-name order; mapEst memoizes the
 	// (app, spec) map-service estimates — both inputs are static.
 	agg      aggregates
-	typeReps []*cluster.TypeSpec
+	typeReps []*cluster.TypeSpec //eant:reset-keep pure function of the cluster, which a driver never swaps
 	mapEst   map[mapEstKey]float64
 
 	// slotObs receives free-slot change notifications when the scheduler
 	// implements SlotObserver; onMutation is the test-only invariant hook
 	// (EnableInvariantChecks).
 	slotObs    SlotObserver
-	onMutation func(where string)
+	onMutation func(where string) //eant:reset-keep test-only hook installed for the driver's lifetime
+
+	// staleEstimates is set by Reset when the new config invalidates the
+	// memoized service estimates (NetShareDivisor changed); Run's warm job
+	// reuse then drops each job's reduce-estimate memo.
+	staleEstimates bool
 
 	// Typed event kinds (sim.RegisterKind jump table). The hot scheduling
 	// paths — heartbeat sweeps, control ticks, submissions, completion/
 	// failure timers, the reduce shuffle→compute transition — carry at
 	// most a task or job pointer, so scheduling one allocates no closure.
-	evHeartbeat     sim.EventKind
-	evControl       sim.EventKind
-	evSubmit        sim.EventKind
-	evComplete      sim.EventKind
-	evFail          sim.EventKind
-	evReduceCompute sim.EventKind
+	evHeartbeat     sim.EventKind //eant:reset-keep kind registration is per-driver-lifetime; Engine.Reset keeps the table
+	evControl       sim.EventKind //eant:reset-keep kind registration is per-driver-lifetime; Engine.Reset keeps the table
+	evSubmit        sim.EventKind //eant:reset-keep kind registration is per-driver-lifetime; Engine.Reset keeps the table
+	evComplete      sim.EventKind //eant:reset-keep kind registration is per-driver-lifetime; Engine.Reset keeps the table
+	evFail          sim.EventKind //eant:reset-keep kind registration is per-driver-lifetime; Engine.Reset keeps the table
+	evReduceCompute sim.EventKind //eant:reset-keep kind registration is per-driver-lifetime; Engine.Reset keeps the table
 }
 
 // NewDriver wires a driver for one run. The scheduler must not be shared
@@ -329,16 +335,41 @@ func (d *Driver) Run(specs []workload.JobSpec, horizon time.Duration) (*Stats, e
 		}
 	}
 
-	// Place inputs and schedule submissions.
+	// Place inputs and schedule submissions. A warm driver (Reset) whose
+	// retained job list matches the new specs exactly reuses the Job and
+	// Task structures in place; any mismatch rebuilds from scratch. Inputs
+	// are re-placed either way — the namespace reset rewound the HDFS
+	// stream, so the replica draws replay bit-identically.
+	warm := len(d.jobs) == len(specs)
+	if warm {
+		for i := range specs {
+			if d.jobs[i].Spec != specs[i] {
+				warm = false
+				break
+			}
+		}
+	}
+	if !warm {
+		for i := range d.jobs {
+			d.jobs[i] = nil
+		}
+		d.jobs = d.jobs[:0]
+	}
 	d.unsubmit = len(specs)
-	for _, spec := range specs {
-		spec := spec
+	for i, spec := range specs {
 		file, err := d.ns.Place(spec.ID, spec.NumMaps)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: placing job %d: %w", spec.ID, err)
 		}
-		job := newJob(spec, func(block int) []int { return file.Blocks[block] })
-		d.jobs = append(d.jobs, job)
+		replicasOf := func(block int) []int { return file.Blocks[block] }
+		var job *Job
+		if warm {
+			job = d.jobs[i]
+			job.resetForRun(replicasOf, d.staleEstimates)
+		} else {
+			job = newJob(spec, replicasOf)
+			d.jobs = append(d.jobs, job)
+		}
 		d.engine.ScheduleKind(spec.Submit, d.evSubmit, 0, job)
 	}
 

@@ -93,6 +93,17 @@ func MustNewModel(cfg Config, rng *sim.RNG) *Model {
 // Config returns the model's configuration.
 func (m *Model) Config() Config { return m.cfg }
 
+// Reset reconfigures the model in place and rewinds its RNG stream to the
+// given seed, exactly reproducing a fresh NewModel(cfg, NewRNG(seed)).
+func (m *Model) Reset(cfg Config, seed int64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m.cfg = cfg
+	m.rng.Reseed(seed)
+	return nil
+}
+
 // StragglerCapSeconds bounds the absolute extra delay a straggler adds.
 // Hadoop's speculative execution re-runs tasks that fall far behind, so a
 // straggler can never stretch a long task unboundedly; 300 s of added

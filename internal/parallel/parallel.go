@@ -54,8 +54,16 @@ func DefaultWorkers() int {
 // (indices below the first failure always run to completion before the
 // failure can halt claiming). On error the result slice is nil.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkers(n, workers, func(_, i int) (T, error) { return fn(i) })
+}
+
+// Workers reports the worker count MapWorkers will actually use for n
+// items: workers (or DefaultWorkers when <= 0) clamped to n. Callers
+// sizing per-worker state (one warm simulation world per worker) use it
+// to allocate exactly the slots that will be touched.
+func Workers(n, workers int) int {
 	if n <= 0 {
-		return nil, nil
+		return 0
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -63,10 +71,24 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// MapWorkers is Map with the worker identity exposed: fn(worker, i) runs
+// with worker in [0, Workers(n, workers)), and no two concurrent calls
+// share a worker index. Per-worker state (scratch arenas, warm simulation
+// worlds) indexed by worker therefore needs no locking; items claimed by
+// the same worker see its state in strictly increasing index order. The
+// inline path (effective worker count 1) always passes worker 0.
+func MapWorkers[T any](n, workers int, fn func(worker, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(n, workers)
 	out := make([]T, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := fn(0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -93,6 +115,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			for {
@@ -103,7 +126,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
-				v, err := fn(i)
+				v, err := fn(w, i)
 				if err != nil {
 					record(i, err)
 					return

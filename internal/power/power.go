@@ -26,9 +26,9 @@ import (
 type Meter struct {
 	lastSync  []time.Duration
 	joules    []float64
-	utilSecs  []float64 // ∫U dt, for time-averaged CPU utilization (Fig. 8b)
-	busySlots []float64 // ∫(occupied slots) dt — set via NoteSlots by the driver
-	cluster   *cluster.Cluster
+	utilSecs  []float64        // ∫U dt, for time-averaged CPU utilization (Fig. 8b)
+	busySlots []float64        // ∫(occupied slots) dt — set via NoteSlots by the driver
+	cluster   *cluster.Cluster //eant:reset-keep the meter covers one fixed fleet for its lifetime
 }
 
 // NewMeter returns a meter covering every machine in c, starting at time 0.
@@ -39,6 +39,18 @@ func NewMeter(c *cluster.Cluster) *Meter {
 		utilSecs:  make([]float64, c.Size()),
 		busySlots: make([]float64, c.Size()),
 		cluster:   c,
+	}
+}
+
+// Reset zeroes every accumulator and rewinds the sync clock to time 0,
+// returning the meter to the state NewMeter leaves it in while keeping the
+// allocated per-machine slices.
+func (mt *Meter) Reset() {
+	for i := range mt.lastSync {
+		mt.lastSync[i] = 0
+		mt.joules[i] = 0
+		mt.utilSecs[i] = 0
+		mt.busySlots[i] = 0
 	}
 }
 

@@ -13,9 +13,10 @@ import (
 // idle capacity beyond their guarantee and are preempted back to it only
 // by attrition (running tasks finish). Within a queue, jobs run FIFO.
 type Capacity struct {
-	queues []CapacityQueue
+	queues []CapacityQueue //eant:reset-keep queue declarations are configuration fixed at construction
 	// route maps a job to a queue index; default routes by JobID modulo
 	// queue count.
+	//eant:reset-keep routing policy is configuration fixed at construction
 	route func(*mapreduce.Job) int
 
 	// usage[queueIdx] counts running tasks per queue.
@@ -23,8 +24,8 @@ type Capacity struct {
 
 	// queueOrder scratch, reused across slot offers (one scheduler per
 	// single-threaded driver).
-	idx     []int
-	deficit []float64
+	idx     []int     //eant:reset-keep per-offer scratch, fully overwritten before every read
+	deficit []float64 //eant:reset-keep per-offer scratch, fully overwritten before every read
 }
 
 // CapacityQueue declares one queue's share of the slot pool.
@@ -69,6 +70,12 @@ var _ mapreduce.Scheduler = (*Capacity)(nil)
 
 // Name implements mapreduce.Scheduler.
 func (c *Capacity) Name() string { return "Capacity" }
+
+// ResetForRun clears the per-run queue usage counters; queue declarations
+// and routing are configuration and stay.
+func (c *Capacity) ResetForRun() {
+	clear(c.usage)
+}
 
 // queueOrder returns queue indices sorted by how far each queue is below
 // its guaranteed share (most underserved first); queues over guarantee

@@ -17,6 +17,7 @@ import (
 type Fair struct {
 	// LocalityWaitTicks is how many consecutive non-local offers a job
 	// declines before running remotely. Zero disables delay scheduling.
+	//eant:reset-keep configuration fixed at construction
 	LocalityWaitTicks int
 
 	// skipped counts consecutive non-local offers per job ID.
@@ -36,6 +37,12 @@ var _ mapreduce.Scheduler = (*Fair)(nil)
 
 // Name implements mapreduce.Scheduler.
 func (f *Fair) Name() string { return "Fair" }
+
+// ResetForRun clears the per-run delay-scheduling skip counters so the
+// same instance can drive another simulation from scratch.
+func (f *Fair) ResetForRun() {
+	clear(f.skipped)
+}
 
 // neediest returns the eligible job with the largest fair-share deficit
 // (fair share minus running tasks), ties broken by submission order.

@@ -21,6 +21,9 @@ var _ mapreduce.Scheduler = (*FIFO)(nil)
 // Name implements mapreduce.Scheduler.
 func (f *FIFO) Name() string { return "FIFO" }
 
+// ResetForRun is a no-op: FIFO carries no run state.
+func (f *FIFO) ResetForRun() {}
+
 // AssignMap hands m the oldest job's next map task, local block preferred.
 func (f *FIFO) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
 	for _, j := range ctx.ActiveJobs() {

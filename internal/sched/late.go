@@ -21,9 +21,11 @@ type LATE struct {
 
 	// SpeculationFactor is the elapsed/expected ratio beyond which an
 	// attempt counts as a straggler. Hadoop's heuristic is ~1.2–1.5.
+	//eant:reset-keep configuration fixed at construction
 	SpeculationFactor float64
 	// MaxSpeculativeFraction bounds in-flight clones per job, as a
 	// fraction of the job's running attempts (minimum 1).
+	//eant:reset-keep configuration fixed at construction
 	MaxSpeculativeFraction float64
 }
 
@@ -36,6 +38,12 @@ var _ mapreduce.Scheduler = (*LATE)(nil)
 
 // Name implements mapreduce.Scheduler.
 func (l *LATE) Name() string { return "LATE" }
+
+// ResetForRun clears the embedded Fair scheduler's per-run state; LATE's
+// speculation thresholds are configuration, not run state.
+func (l *LATE) ResetForRun() {
+	l.fair.ResetForRun()
+}
 
 // AssignMap implements mapreduce.Scheduler: normal fair assignment first,
 // speculation only with spare slots.

@@ -21,6 +21,7 @@ type Tarazu struct {
 
 	// capShare[machineID] is the machine's fraction of fleet compute
 	// capability, computed lazily on first assignment.
+	//eant:reset-keep pure function of the cluster, which a driver never swaps
 	capShare []float64
 	// started[machineID] counts map tasks this scheduler has placed.
 	started      []int
@@ -28,9 +29,11 @@ type Tarazu struct {
 
 	// slack is the tolerated overshoot above the capability share before
 	// remote tasks are declined. 1.0 is strict proportionality.
+	//eant:reset-keep configuration fixed at construction
 	slack float64
 	// localBoost multiplies a job's affinity score when it has a
 	// data-local task on the offering machine.
+	//eant:reset-keep configuration fixed at construction
 	localBoost float64
 }
 
@@ -41,6 +44,16 @@ var _ mapreduce.Scheduler = (*Tarazu)(nil)
 
 // Name implements mapreduce.Scheduler.
 func (t *Tarazu) Name() string { return "Tarazu" }
+
+// ResetForRun zeroes the per-run balancing counters. The capability shares
+// are a pure function of the cluster (which a warm rerun keeps) and stay.
+func (t *Tarazu) ResetForRun() {
+	t.fair.ResetForRun()
+	for i := range t.started {
+		t.started[i] = 0
+	}
+	t.totalStarted = 0
+}
 
 func (t *Tarazu) init(ctx *mapreduce.Context) {
 	if t.capShare != nil {

@@ -132,14 +132,14 @@ const maxFreeEvents = 8192
 // they fire.
 type Engine struct {
 	now     time.Duration
-	width   time.Duration // bucket width
+	width   time.Duration //eant:reset-keep bucket width is configuration; the driver re-asserts it via SetBucketWidth
 	curBi   int64         // absolute index of the active bucket
 	buckets [numBuckets][]*event
-	ringN   int      // events (incl. cancelled) in ring buckets
-	active  []*event // min-heap: active bucket + pulled overflow
-	over    []*event // min-heap: events at or beyond the ring window
-	free    []*event // recycled event structs
-	kinds   []TypedHandler
+	ringN   int            // events (incl. cancelled) in ring buckets
+	active  []*event       // min-heap: active bucket + pulled overflow
+	over    []*event       // min-heap: events at or beyond the ring window
+	free    []*event       // recycled event structs
+	kinds   []TypedHandler //eant:reset-keep registered kind table lives as long as its driver
 	seq     uint64
 	fired   uint64
 	queued  int // events in the queue, including cancelled ones
@@ -168,6 +168,36 @@ func (e *Engine) SetBucketWidth(w time.Duration) {
 	}
 	e.width = w
 	e.curBi = int64(e.now / w)
+}
+
+// Reset returns the engine to the state NewEngine leaves it in — clock at
+// zero, queue empty, counters cleared — while keeping the registered kind
+// table, the bucket width, and the recycled event pool, so a warm rerun
+// schedules from a hot free list instead of reallocating event structs.
+// Any still-queued events (a horizon-cut run leaves some behind) are
+// drained into the pool; their handles go inert via the generation bump.
+func (e *Engine) Reset() {
+	for i := range e.buckets {
+		for _, ev := range e.buckets[i] {
+			e.recycle(ev)
+		}
+		clearEvents(e.buckets[i])
+		e.buckets[i] = e.buckets[i][:0]
+	}
+	for _, ev := range e.active {
+		e.recycle(ev)
+	}
+	clearEvents(e.active)
+	e.active = e.active[:0]
+	for _, ev := range e.over {
+		e.recycle(ev)
+	}
+	clearEvents(e.over)
+	e.over = e.over[:0]
+	e.ringN, e.queued, e.live = 0, 0, 0
+	e.now, e.curBi = 0, 0
+	e.seq, e.fired = 0, 0
+	e.stopped = false
 }
 
 // RegisterKind adds h to the engine's typed-event jump table and returns

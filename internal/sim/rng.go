@@ -25,8 +25,22 @@ func NewRNG(seed int64) *RNG {
 // seed mixes the parent seed with a hash of the label, so adding a new
 // consumer does not perturb existing streams.
 func (g *RNG) Fork(label string) *RNG {
-	h := splitmix64(uint64(g.seed) ^ fnv64(label))
-	return NewRNG(int64(h))
+	return NewRNG(ForkSeed(g.seed, label))
+}
+
+// ForkSeed returns the child seed Fork(label) would derive from a stream
+// seeded with parent. Warm-run reuse calls it to Reseed an existing child
+// stream in place instead of allocating a fresh fork.
+func ForkSeed(parent int64, label string) int64 {
+	return int64(splitmix64(uint64(parent) ^ fnv64(label)))
+}
+
+// Reseed rewinds the stream to the state NewRNG(seed) starts in, reusing
+// the underlying generator. After Reseed the draw sequence is identical to
+// a freshly constructed stream's.
+func (g *RNG) Reseed(seed int64) {
+	g.r.Seed(seed)
+	g.seed = seed
 }
 
 // fnv64 is the FNV-1a hash of s.

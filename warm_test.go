@@ -1,0 +1,218 @@
+package eant
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// warmCase is one sweep shape run two ways: cold (a fresh world per spec,
+// via Run) and warm (one Runner, reset in place between specs). The cases
+// mirror the experiment families behind the cmd/eantsim goldens — the
+// fig8 scheduler sweep, the fig11 convergence/workload sweeps, the fig12
+// parameter sweeps, and the failures experiment — plus consolidation and
+// a horizon cut, so every driver subsystem the goldens exercise is also
+// proven bit-identical under reuse.
+type warmCase struct {
+	name  string
+	specs []RunSpec
+	// probed attaches a fully-enabled probe (JSONL stream included) to
+	// every run of the case; streams and reports must match byte-for-byte
+	// between cold and warm.
+	probed bool
+}
+
+func warmCases(cl *Cluster) []warmCase {
+	base := func(s Scheduler, jobs int, seed int64) RunSpec {
+		return RunSpec{Cluster: cl, Scheduler: s, Jobs: MSDWorkload(jobs, seed), Seed: seed}
+	}
+	var schedSweep []RunSpec
+	for _, s := range Schedulers() {
+		schedSweep = append(schedSweep, base(s, 10, 1))
+	}
+	var jobsSweep []RunSpec
+	for _, jobs := range []int{5, 15, 30} {
+		jobsSweep = append(jobsSweep, base(SchedulerEAnt, jobs, 2))
+	}
+	var betaSweep []RunSpec
+	for _, beta := range []float64{0.05, 0.1, 0.3} {
+		p := DefaultEAntParams()
+		p.Beta = beta
+		spec := base(SchedulerEAnt, 10, 3)
+		spec.EAntParams = &p
+		betaSweep = append(betaSweep, spec)
+	}
+	var intervalSweep []RunSpec
+	for _, iv := range []time.Duration{15 * time.Second, 30 * time.Second, 60 * time.Second} {
+		spec := base(SchedulerEAnt, 10, 4)
+		spec.ControlInterval = iv
+		intervalSweep = append(intervalSweep, spec)
+	}
+	faulty := base(SchedulerEAnt, 12, 5)
+	faulty.Faults = &FaultConfig{
+		MachineMTBF: 2 * time.Hour, MachineMTTR: 5 * time.Minute, TaskFailProb: 0.02,
+	}
+	faultyFair := faulty
+	faultyFair.Scheduler = SchedulerFair
+	consolidated := base(SchedulerEAnt, 10, 6)
+	consolidated.Consolidation = &Consolidation{}
+	cut := base(SchedulerEAnt, 20, 7)
+	cut.Horizon = 8 * time.Minute
+	records := base(SchedulerEAnt, 10, 8)
+	records.KeepTaskRecords = true
+
+	return []warmCase{
+		{name: "scheduler_sweep", specs: schedSweep, probed: true},
+		{name: "convergence", specs: []RunSpec{base(SchedulerEAnt, 30, 2)}},
+		{name: "jobs_sweep", specs: jobsSweep},
+		{name: "beta_sweep", specs: betaSweep},
+		{name: "interval_sweep", specs: intervalSweep},
+		{name: "failures", specs: []RunSpec{faulty, faultyFair}, probed: true},
+		{name: "consolidation", specs: []RunSpec{consolidated}},
+		{name: "horizon_cut", specs: []RunSpec{cut}},
+		{name: "task_records", specs: []RunSpec{records}},
+	}
+}
+
+// TestWarmEqualsCold is the warm-run contract: every run on a reused
+// Runner produces a Stats record deeply equal to a cold Run of the same
+// spec, and — with a fully-enabled probe attached — a byte-identical
+// JSONL event stream and an equal histogram report. The cold reference
+// for each spec executes on its own cluster clone; the warm runs share
+// one Runner per case, cycling schedulers, parameters, fault and
+// consolidation configs through the same world. Finally the first spec
+// of each case is re-run warm after the whole sweep, proving resets
+// compose (warm-after-warm, not just warm-after-cold).
+func TestWarmEqualsCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-spec sweeps; skipped in -short mode")
+	}
+	cl := PaperTestbed()
+	for _, c := range warmCases(cl) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			type output struct {
+				res    *Result
+				stream []byte
+				report ProbeReport
+			}
+			runSpec := func(spec RunSpec, warm *Runner) output {
+				t.Helper()
+				var out output
+				var buf *bytes.Buffer
+				if c.probed {
+					spec.Probe, buf = newSweepProbe(t)
+				}
+				var err error
+				if warm != nil {
+					out.res, err = warm.Run(spec)
+				} else {
+					spec.Cluster = cl.Clone()
+					out.res, err = Run(spec)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c.probed {
+					if err := spec.Probe.Err(); err != nil {
+						t.Fatalf("probe stream: %v", err)
+					}
+					out.stream = buf.Bytes()
+					out.report = spec.Probe.Report()
+				}
+				return out
+			}
+			compare := func(i int, cold, warm output) {
+				t.Helper()
+				if !reflect.DeepEqual(cold.res.Stats, warm.res.Stats) {
+					t.Errorf("spec %d: warm Stats diverged from cold: joules %v vs %v, makespan %v vs %v",
+						i, warm.res.Stats.TotalJoules, cold.res.Stats.TotalJoules,
+						warm.res.Stats.Horizon, cold.res.Stats.Horizon)
+				}
+				if !bytes.Equal(cold.stream, warm.stream) {
+					t.Errorf("spec %d: warm probe JSONL stream differs from cold", i)
+				}
+				if !reflect.DeepEqual(cold.report, warm.report) {
+					t.Errorf("spec %d: warm probe report differs from cold", i)
+				}
+			}
+
+			colds := make([]output, len(c.specs))
+			for i, spec := range c.specs {
+				colds[i] = runSpec(spec, nil)
+			}
+			runner, err := NewRunner(cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, spec := range c.specs {
+				compare(i, colds[i], runSpec(spec, runner))
+			}
+			// Warm-after-warm: resetting back to the first spec after the
+			// whole sweep must land on the same bytes again.
+			compare(0, colds[0], runSpec(c.specs[0], runner))
+		})
+	}
+}
+
+// TestRunnerReuseParallel drives the RunMany warm path: a grid of specs
+// over one shared cluster fans out across four workers, each reusing its
+// own Runner, and every cell must match a cold sequential Run. Under
+// `go test -race` this is the data-race check for per-worker world reuse.
+func TestRunnerReuseParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep; skipped in -short mode")
+	}
+	shared := PaperTestbed()
+	var specs []RunSpec
+	for _, jobs := range []int{5, 12, 20} {
+		for _, s := range []Scheduler{SchedulerEAnt, SchedulerFair, SchedulerTarazu} {
+			specs = append(specs, RunSpec{
+				Cluster:   shared,
+				Scheduler: s,
+				Jobs:      MSDWorkload(jobs, 11),
+				Seed:      11,
+			})
+		}
+	}
+	par, err := RunMany(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		spec.Cluster = shared.Clone()
+		seq, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par[i].Stats, seq.Stats) {
+			t.Errorf("cell %d (%s, %d jobs): warm parallel run diverged from cold sequential",
+				i, spec.Scheduler, len(spec.Jobs))
+		}
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(nil); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	r, err := NewRunner(PaperTestbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := MSDWorkload(2, 1)
+	if _, err := r.Run(RunSpec{Cluster: PaperTestbed(), Scheduler: SchedulerFair, Jobs: jobs}); err == nil {
+		t.Error("foreign cluster accepted")
+	}
+	if _, err := r.Run(RunSpec{Scheduler: SchedulerFair}); err == nil {
+		t.Error("empty jobs accepted")
+	}
+	if _, err := r.Run(RunSpec{Scheduler: "Mystery", Jobs: jobs}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	// A nil spec.Cluster means "the Runner's own world".
+	if _, err := r.Run(RunSpec{Scheduler: SchedulerFair, Jobs: jobs}); err != nil {
+		t.Errorf("nil-cluster spec rejected: %v", err)
+	}
+}
