@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"eant/internal/analysis"
+)
+
+// A baseline is the committed ledger of known findings. Each entry is
+// one tab-separated line — "file<TAB>analyzer<TAB>message" — and a
+// finding firing N times on one file appears N times. Line numbers are
+// deliberately left out of the key: a baseline should survive unrelated
+// edits to the file, and the analyzer messages (which embed names and
+// witness chains, not positions) are specific enough to match findings
+// one-to-one in practice.
+//
+// Matching is multiset subtraction: each current finding consumes one
+// baseline entry with the same key. Findings left over are new and fail
+// the run; baseline entries left over are stale and only warn, so
+// fixing debt never breaks CI — the next -write-baseline tidies up.
+type baseline struct {
+	counts map[string]int
+}
+
+func baselineKey(root string, d analysis.Diagnostic) string {
+	return relPath(root, d.Pos.Filename) + "\t" + d.Analyzer + "\t" + d.Message
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	defer f.Close()
+	b := &baseline{counts: map[string]int{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("%s:%d: malformed baseline entry (want file<TAB>analyzer<TAB>message)", path, lineNo)
+		}
+		b.counts[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	return b, nil
+}
+
+// filter removes baselined findings from diags, returning the surviving
+// (new) findings and a sorted description of stale baseline entries.
+func (b *baseline) filter(root string, diags []analysis.Diagnostic) ([]analysis.Diagnostic, []string) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, c := range b.counts {
+		remaining[k] = c
+	}
+	var fresh []analysis.Diagnostic
+	for _, d := range diags {
+		k := baselineKey(root, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	var stale []string
+	for k, c := range remaining {
+		for i := 0; i < c; i++ {
+			stale = append(stale, strings.ReplaceAll(k, "\t", " | "))
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// saveBaseline writes the findings as a sorted baseline file.
+func saveBaseline(path, root string, diags []analysis.Diagnostic) error {
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, baselineKey(root, d))
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# eantlint baseline: known findings, one tab-separated file/analyzer/message per line.\n")
+	sb.WriteString("# Regenerate with: go run ./cmd/eantlint -baseline <this file> -write-baseline\n")
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,0 +1,22 @@
+package main
+
+import "time"
+
+// clock abstracts the wall clock behind the -timing printout — the same
+// injection pattern cmd/eantsim uses for sweep timing — so the binary's
+// only real-time consumer is this one seam and tests can substitute a
+// fake. The analyzers themselves never read time; eantlint's own noclock
+// rule keeps it that way.
+type clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+}
+
+// sysClock is the real wall clock.
+type sysClock struct{}
+
+func (sysClock) Now() time.Time                  { return time.Now() }
+func (sysClock) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// wall is the injected clock; tests swap it for a fake.
+var wall clock = sysClock{}

@@ -1,0 +1,482 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the whole-module call graph the interprocedural layer
+// (facts.go) runs its fixpoints over. The graph is conservative and
+// deterministic:
+//
+//   - Nodes are every function, method, and function literal that has
+//     syntax in the loaded packages. External callees (the standard
+//     library, packages only reachable through the source importer) are
+//     not nodes; the constructs that make them interesting — time.Now,
+//     global math/rand draws, os/net calls — are detected directly at the
+//     call site and recorded as base facts on the calling node instead.
+//   - Static calls and method calls produce one edge to the resolved
+//     *types.Func.
+//   - Calls through an interface method produce one edge per concrete
+//     type in the module that implements the interface (checked with
+//     types.Implements against both T and *T), in sorted (package, type)
+//     order.
+//   - A function or method *value* that is referenced outside call
+//     position — passed as an argument, assigned to a variable or a
+//     function-typed struct field, returned — produces a conservative
+//     "ref" edge from the enclosing function, on the assumption that
+//     whoever receives the value may invoke it in the referrer's context.
+//
+// Node identity is positional: nodes are numbered in (package path, file
+// name, offset) order, and every edge list is sorted, so two builds over
+// the same sources produce byte-identical graphs regardless of map
+// iteration or load order.
+
+// EdgeKind classifies how a call-graph edge was discovered.
+type EdgeKind uint8
+
+const (
+	// EdgeCall is a direct static call or resolved method call.
+	EdgeCall EdgeKind = iota
+	// EdgeDispatch is an interface-method call resolved to one concrete
+	// implementation by types.Implements.
+	EdgeDispatch
+	// EdgeRef is a conservative edge for a function value referenced
+	// outside call position (argument, assignment, struct field, return).
+	EdgeRef
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeDispatch:
+		return "dispatch"
+	case EdgeRef:
+		return "ref"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+}
+
+// An Edge is one caller→callee relation, positioned at the call or
+// reference site.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// A Node is one function with syntax in the module: a declared function or
+// method, or a function literal.
+type Node struct {
+	// ID is the node's dense index in CallGraph.Nodes, assigned in sorted
+	// positional order — stable across repeated loads of the same sources.
+	ID int
+	// Name is the qualified display name: "pkg.Func",
+	// "(pkg.Type).Method", or "pkg.Func$1" for the n-th literal inside
+	// Func.
+	Name string
+	// Pkg is the loaded package holding the node's syntax.
+	Pkg *Package
+	// Fn is the type-checker object for declared functions and methods;
+	// nil for function literals.
+	Fn *types.Func
+	// Syntax is the *ast.FuncDecl or *ast.FuncLit.
+	Syntax ast.Node
+	// Body is the function body (nil for bodyless declarations).
+	Body *ast.BlockStmt
+
+	// Out and In are the sorted outgoing and incoming edges.
+	Out []Edge
+	In  []Edge
+
+	facts nodeFacts
+}
+
+// Pos returns the node's declaration position.
+func (n *Node) Pos() token.Pos { return n.Syntax.Pos() }
+
+// A CallGraph is the whole-module graph over every loaded package.
+type CallGraph struct {
+	// Nodes in deterministic (package path, file, offset) order; a node's
+	// slice index is its ID.
+	Nodes []*Node
+
+	fset    *token.FileSet
+	byFunc  map[*types.Func]*Node
+	byLit   map[*ast.FuncLit]*Node
+	pkgs    []*Package
+	pkgOf   map[*types.Package]*Package
+	methods []methodEntry
+}
+
+// methodEntry caches one named type's method set for interface dispatch:
+// implements-checking walks these instead of re-enumerating scopes per
+// call site.
+type methodEntry struct {
+	named *types.Named
+	ptr   types.Type
+}
+
+// NodeOf returns the node for a declared function or method, or nil.
+func (g *CallGraph) NodeOf(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// LitNode returns the node for a function literal, or nil.
+func (g *CallGraph) LitNode(lit *ast.FuncLit) *Node { return g.byLit[lit] }
+
+// BuildGraph constructs the call graph over the given packages. The
+// packages are expected to come from one Loader (one FileSet, one type
+// universe); passing both an importer's copy and a root copy of the same
+// package would split its nodes.
+func BuildGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		fset:   pkgs[0].Fset,
+		byFunc: map[*types.Func]*Node{},
+		byLit:  map[*ast.FuncLit]*Node{},
+		pkgOf:  map[*types.Package]*Package{},
+	}
+	g.pkgs = append(g.pkgs, pkgs...)
+	sort.Slice(g.pkgs, func(i, j int) bool { return g.pkgs[i].Path < g.pkgs[j].Path })
+	for _, p := range g.pkgs {
+		g.pkgOf[p.Types] = p
+	}
+
+	g.collectNodes()
+	g.collectMethodSets()
+	for _, n := range g.Nodes {
+		if n.Body != nil {
+			g.scanBody(n)
+		}
+	}
+	g.sortEdges()
+	return g
+}
+
+// collectNodes creates one node per FuncDecl and FuncLit, in (package
+// path, file, offset) order. Packages are already sorted; files within a
+// package were parsed in sorted name order, and ast.Inspect visits a
+// file's declarations in positional order, so a simple walk is already
+// deterministic.
+func (g *CallGraph) collectNodes() {
+	for _, p := range g.pkgs {
+		for _, f := range p.Files {
+			litSeq := map[string]int{}
+			var walk func(nd ast.Node, outer string)
+			walk = func(nd ast.Node, outer string) {
+				ast.Inspect(nd, func(inner ast.Node) bool {
+					if inner == nd {
+						return true
+					}
+					lit, ok := inner.(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					litSeq[outer]++
+					name := fmt.Sprintf("%s$%d", outer, litSeq[outer])
+					g.addNode(&Node{Name: name, Pkg: p, Syntax: lit, Body: lit.Body})
+					walk(lit, name)
+					return false
+				})
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					// Literals in var initializers hang off a synthetic
+					// "init" scope name.
+					walk(decl, p.Path+".init")
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				name := declName(p, fd)
+				g.addNode(&Node{Name: name, Pkg: p, Fn: obj, Syntax: fd, Body: fd.Body})
+				walk(fd, name)
+			}
+		}
+	}
+	// Nodes were appended decl-first, literals nested in declaration order
+	// within each file; re-sort by position for a single canonical order.
+	sort.Slice(g.Nodes, func(i, j int) bool {
+		a, b := g.Nodes[i], g.Nodes[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		pa, pb := g.fset.Position(a.Pos()), g.fset.Position(b.Pos())
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		return pa.Offset < pb.Offset
+	})
+	for i, n := range g.Nodes {
+		n.ID = i
+	}
+}
+
+// declName renders a declared function's display name.
+func declName(p *Package, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return p.Path + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	recv := "?"
+	switch x := t.(type) {
+	case *ast.Ident:
+		recv = x.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := x.X.(*ast.Ident); ok {
+			recv = id.Name
+		}
+	}
+	return fmt.Sprintf("(%s.%s).%s", p.Path, recv, fd.Name.Name)
+}
+
+func (g *CallGraph) addNode(n *Node) {
+	g.Nodes = append(g.Nodes, n)
+	if n.Fn != nil {
+		g.byFunc[n.Fn] = n
+	} else if lit, ok := n.Syntax.(*ast.FuncLit); ok {
+		g.byLit[lit] = n
+	}
+}
+
+// collectMethodSets indexes every named type declared in the loaded
+// packages for interface dispatch. Scope.Names is sorted, and packages are
+// walked in path order, so the implementation order is deterministic.
+func (g *CallGraph) collectMethodSets() {
+	for _, p := range g.pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || named.NumMethods() == 0 {
+				continue
+			}
+			g.methods = append(g.methods, methodEntry{named: named, ptr: types.NewPointer(named)})
+		}
+	}
+}
+
+// scanBody walks one node's body, recording call, dispatch, and ref edges.
+// Nested function literals are skipped — they are their own nodes and are
+// scanned separately; the literal itself produces a ref edge here.
+func (g *CallGraph) scanBody(n *Node) {
+	info := n.Pkg.Info
+	ast.Inspect(n.Body, func(nd ast.Node) bool {
+		if lit, ok := nd.(*ast.FuncLit); ok {
+			if callee := g.byLit[lit]; callee != nil {
+				g.addEdge(n, callee, lit.Pos(), EdgeRef)
+			}
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		g.scanCall(n, info, call)
+		return true
+	})
+
+	// Second pass: function and method values used outside call position.
+	// The walk above handled literals; this one handles named functions and
+	// methods referenced as values (arguments, assignments, struct fields,
+	// returns) — conservatively assumed invokable by the receiver. The Sel
+	// of a call-position selector is marked too, so `d.foo()` does not
+	// double as a method-value reference to foo.
+	inCallPos := map[ast.Node]bool{}
+	ast.Inspect(n.Body, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := nd.(*ast.CallExpr); ok {
+			fun := unparen(call.Fun)
+			inCallPos[fun] = true
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				inCallPos[sel.Sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(n.Body, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := nd.(type) {
+		case *ast.Ident:
+			if inCallPos[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok {
+				if callee := g.byFunc[fn]; callee != nil {
+					g.addEdge(n, callee, x.Pos(), EdgeRef)
+				}
+			}
+		case *ast.SelectorExpr:
+			if inCallPos[x] {
+				return true
+			}
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+				if callee := g.byFunc[sel.Obj().(*types.Func)]; callee != nil {
+					g.addEdge(n, callee, x.Pos(), EdgeRef)
+				}
+				return false
+			}
+			if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+				if callee := g.byFunc[fn]; callee != nil {
+					g.addEdge(n, callee, x.Pos(), EdgeRef)
+				}
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// scanCall resolves one call expression to edges.
+func (g *CallGraph) scanCall(n *Node, info *types.Info, call *ast.CallExpr) {
+	fun := unparen(call.Fun)
+	switch x := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[x].(*types.Func); ok {
+			if callee := g.byFunc[fn]; callee != nil {
+				g.addEdge(n, callee, call.Pos(), EdgeCall)
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			if sel.Kind() != types.MethodVal {
+				return
+			}
+			fn := sel.Obj().(*types.Func)
+			if isInterface(sel.Recv()) {
+				g.dispatch(n, call, sel.Recv(), fn)
+				return
+			}
+			if callee := g.byFunc[fn]; callee != nil {
+				g.addEdge(n, callee, call.Pos(), EdgeCall)
+			}
+			return
+		}
+		// Package-qualified call (pkg.Func).
+		if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+			if callee := g.byFunc[fn]; callee != nil {
+				g.addEdge(n, callee, call.Pos(), EdgeCall)
+			}
+		}
+	case *ast.FuncLit:
+		if callee := g.byLit[x]; callee != nil {
+			g.addEdge(n, callee, call.Pos(), EdgeCall)
+		}
+	}
+}
+
+// dispatch resolves an interface-method call to every module type that
+// implements the interface, adding one EdgeDispatch per implementation's
+// method. The walk over methodEntry is in collection (sorted) order.
+func (g *CallGraph) dispatch(n *Node, call *ast.CallExpr, recv types.Type, ifaceMethod *types.Func) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	name := ifaceMethod.Name()
+	for _, me := range g.methods {
+		var impl types.Type
+		switch {
+		case types.Implements(me.named, iface):
+			impl = me.named
+		case types.Implements(me.ptr, iface):
+			impl = me.ptr
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, ifaceMethod.Pkg(), name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if callee := g.byFunc[fn]; callee != nil {
+			g.addEdge(n, callee, call.Pos(), EdgeDispatch)
+		}
+	}
+}
+
+func (g *CallGraph) addEdge(caller, callee *Node, pos token.Pos, kind EdgeKind) {
+	e := Edge{Caller: caller, Callee: callee, Pos: pos, Kind: kind}
+	caller.Out = append(caller.Out, e)
+	callee.In = append(callee.In, e)
+}
+
+// sortEdges puts every edge list in (callee/caller ID, position, kind)
+// order and drops exact duplicates, making the graph independent of the
+// two-pass discovery order within scanBody.
+func (g *CallGraph) sortEdges() {
+	for _, n := range g.Nodes {
+		n.Out = dedupEdges(n.Out, func(e Edge) int { return e.Callee.ID })
+		n.In = dedupEdges(n.In, func(e Edge) int { return e.Caller.ID })
+	}
+}
+
+func dedupEdges(edges []Edge, peer func(Edge) int) []Edge {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if pa, pb := peer(a), peer(b); pa != pb {
+			return pa < pb
+		}
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		return a.Kind < b.Kind
+	})
+	out := edges[:0]
+	for i, e := range edges {
+		if i > 0 {
+			prev := edges[i-1]
+			if peer(prev) == peer(e) && prev.Pos == e.Pos && prev.Kind == e.Kind {
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Dump renders the graph as one line per edge — "caller -> callee (kind)"
+// in node order — for the determinism property test and debugging.
+func (g *CallGraph) Dump() string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			fmt.Fprintf(&b, "%s -> %s (%s)\n", n.Name, e.Callee.Name, e.Kind)
+		}
+	}
+	return b.String()
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isInterface reports whether t's underlying type is an interface.
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

@@ -1,0 +1,136 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eant/internal/analysis"
+)
+
+// loadModule loads the given fixture directories with a fresh Loader and
+// builds a Module over them. Fixtures used here import only the standard
+// library, so a fresh Loader per call stays cheap.
+func loadModule(t *testing.T, dirs ...string) *analysis.Module {
+	t.Helper()
+	loader := analysis.NewLoader()
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		full := filepath.Join("testdata", "src", dir)
+		pkg, err := loader.LoadDir(full, "fixture/"+dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", full, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return analysis.NewModule(pkgs)
+}
+
+func nodeByName(t *testing.T, m *analysis.Module, name string) *analysis.Node {
+	t.Helper()
+	for _, n := range m.Graph.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s; have:\n%s", name, m.Graph.Dump())
+	return nil
+}
+
+// TestGraphInterfaceDispatch: a call through an interface produces one
+// dispatch edge per implementing type in the module, and the taint of
+// any implementation reaches the caller.
+func TestGraphInterfaceDispatch(t *testing.T) {
+	m := loadModule(t, "interproc_iface")
+	dump := m.Graph.Dump()
+	for _, want := range []string{
+		"fixture/interproc_iface.gather -> (fixture/interproc_iface.clocky).collect (dispatch)",
+		"fixture/interproc_iface.gather -> (fixture/interproc_iface.pure).collect (dispatch)",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("missing edge %q in graph:\n%s", want, dump)
+		}
+	}
+	gather := nodeByName(t, m, "fixture/interproc_iface.gather")
+	if gather.Taint()&analysis.TaintClock == 0 {
+		t.Errorf("gather should carry clock taint through the clocky implementation; taint=%s", gather.Taint())
+	}
+	pure := nodeByName(t, m, "(fixture/interproc_iface.pure).collect")
+	if pure.Taint() != 0 {
+		t.Errorf("pure.collect should be untainted, got %s", pure.Taint())
+	}
+}
+
+// TestGraphMutualRecursion: the fixpoint terminates on a call cycle and
+// both halves carry the taint introduced at the base.
+func TestGraphMutualRecursion(t *testing.T) {
+	m := loadModule(t, "interproc_rec")
+	for _, name := range []string{
+		"fixture/interproc_rec.even",
+		"fixture/interproc_rec.odd",
+		"fixture/interproc_rec.wall",
+	} {
+		if n := nodeByName(t, m, name); n.Taint()&analysis.TaintClock == 0 {
+			t.Errorf("%s should carry clock taint, got %s", name, n.Taint())
+		}
+	}
+	dump := m.Graph.Dump()
+	for _, want := range []string{
+		"fixture/interproc_rec.even -> fixture/interproc_rec.odd (call)",
+		"fixture/interproc_rec.odd -> fixture/interproc_rec.even (call)",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("missing edge %q in graph:\n%s", want, dump)
+		}
+	}
+}
+
+// TestGraphMethodValues: method values bound to variables, stored in
+// function-typed struct fields, or passed as arguments produce ref edges
+// that carry taint to the function where the value escapes.
+func TestGraphMethodValues(t *testing.T) {
+	m := loadModule(t, "interproc_methodval")
+	dump := m.Graph.Dump()
+	for _, want := range []string{
+		"fixture/interproc_methodval.build -> (fixture/interproc_methodval.worker).stamp (ref)",
+		"fixture/interproc_methodval.handoff -> (fixture/interproc_methodval.worker).stamp (ref)",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("missing edge %q in graph:\n%s", want, dump)
+		}
+	}
+	for name, wantTaint := range map[string]bool{
+		"fixture/interproc_methodval.build":    true,
+		"fixture/interproc_methodval.handoff":  true,
+		"fixture/interproc_methodval.indirect": false,
+	} {
+		n := nodeByName(t, m, name)
+		if got := n.Taint()&analysis.TaintClock != 0; got != wantTaint {
+			t.Errorf("%s clock taint = %v, want %v", name, got, wantTaint)
+		}
+	}
+}
+
+// TestGraphDeterministic is the property test: two fresh loads of the
+// same fixture set must produce byte-identical graphs and facts —
+// sorted edges, stable node numbering, stable fixpoint witnesses.
+func TestGraphDeterministic(t *testing.T) {
+	dirs := []string{"interproc_iface", "interproc_methodval", "interproc_rec"}
+	m1 := loadModule(t, dirs...)
+	m2 := loadModule(t, dirs...)
+	if d1, d2 := m1.Graph.Dump(), m2.Graph.Dump(); d1 != d2 {
+		t.Errorf("graph dumps differ across loads:\n--- first\n%s--- second\n%s", d1, d2)
+	}
+	if f1, f2 := m1.Graph.DumpFacts(), m2.Graph.DumpFacts(); f1 != f2 {
+		t.Errorf("fact dumps differ across loads:\n--- first\n%s--- second\n%s", f1, f2)
+	}
+	// Loading the same directories in a different order must converge to
+	// the same sorted module view.
+	m3 := loadModule(t, "interproc_rec", "interproc_iface", "interproc_methodval")
+	if d1, d3 := m1.Graph.Dump(), m3.Graph.Dump(); d1 != d3 {
+		t.Errorf("graph depends on load order:\n--- sorted\n%s--- shuffled\n%s", d1, d3)
+	}
+	if f1, f3 := m1.Graph.DumpFacts(), m3.Graph.DumpFacts(); f1 != f3 {
+		t.Errorf("facts depend on load order:\n--- sorted\n%s--- shuffled\n%s", f1, f3)
+	}
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces the zero-allocation contract on the engine inner
+// loop: functions marked hot by the reachability pass (reach.go) must not
+// execute allocating constructs in steady state. The warm-run benchmarks
+// (BENCH_5.json) depend on the offer path staying allocation-free; one
+// closure or map literal per heartbeat undoes the PR-7/PR-8 work at
+// 1024-machine scale.
+//
+// Flagged constructs, chosen to be cheap to prove allocating:
+//
+//   - closure literals that capture variables (non-capturing literals
+//     compile to static functions and are skipped)
+//   - make of a map, slice or channel
+//   - map and slice composite literals
+//   - append whose destination is a clearly-fresh local (declared nil or
+//     initialized from a composite literal) — growth is guaranteed;
+//     appends to parameters, fields, make()-backed or re-sliced scratch
+//     buffers are allowed, matching the repo's scratch-buffer idiom
+//   - fmt.Sprintf/Sprint/Sprintln/Errorf and string concatenation
+//   - interface boxing at explicit conversions of non-pointer-shaped values
+//
+// Escape hatches: "//eant:alloc-ok <reason>" on the construct's line (or
+// the line above) accepts a justified allocation — lazy one-time
+// construction, error paths, capacity-bounded growth. "//eant:hot-stop
+// <reason>" on a function declaration removes the function (and anything
+// reachable only through it) from the hot set entirely; see reach.go.
+// Arguments to panic() are exempt: a panicking path is already off the
+// steady-state loop.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocating constructs (closures, make, map/slice literals, growing append, Sprintf, interface boxing) in functions reachable from the engine inner loop",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, n := range pass.Mod.Graph.Nodes {
+		if n.Pkg != pass.pkg {
+			continue
+		}
+		if n.facts.hotStopNR {
+			pass.Reportf(n.Pos(), "//eant:hot-stop annotation must carry a reason")
+		}
+		if !n.Hot() || n.Body == nil {
+			continue
+		}
+		checkHotAllocs(pass, n)
+	}
+	return nil
+}
+
+func checkHotAllocs(pass *Pass, n *Node) {
+	fresh := freshSliceLocals(pass, n.Body)
+	chain := n.HotChain(4)
+	flag := func(pos token.Pos, what string) {
+		reason, ok := pass.Annotation(pos, "alloc-ok")
+		if ok && reason == "" {
+			pass.Reportf(pos, "//eant:alloc-ok annotation must carry a reason")
+			return
+		}
+		if ok {
+			return
+		}
+		pass.Reportf(pos, "%s in hot function %s (%s); fix the allocation or annotate //eant:alloc-ok <reason>", what, n.Name, chain)
+	}
+
+	var walk func(ast.Node, bool)
+	walk = func(root ast.Node, inPanic bool) {
+		ast.Inspect(root, func(nd ast.Node) bool {
+			switch x := nd.(type) {
+			case *ast.FuncLit:
+				// The literal's body is its own graph node — hot only if a
+				// call edge actually reaches it — but materializing the
+				// closure value allocates here if it captures.
+				if x != root && capturesVariables(pass, x) && !inPanic {
+					flag(x.Pos(), "closure literal captures variables")
+				}
+				return x == root
+			case *ast.CallExpr:
+				if isPanicCall(pass, x) {
+					// Panic formatting is terminal; walk arguments with the
+					// exemption set rather than flagging them.
+					for _, a := range x.Args {
+						walk(a, true)
+					}
+					return false
+				}
+				if inPanic {
+					return true
+				}
+				if isBuiltin(pass, x.Fun, "make") {
+					flag(x.Pos(), "make allocates")
+					return true
+				}
+				if isBuiltin(pass, x.Fun, "append") && len(x.Args) > 0 {
+					if obj := pass.rootObject(x.Args[0]); obj != nil && fresh[obj] {
+						flag(x.Pos(), "append to freshly-declared slice grows without capacity")
+					}
+					return true
+				}
+				if pkg, name, ok := pass.calleePkgFunc(x); ok && pkg == "fmt" {
+					switch name {
+					case "Sprintf", "Sprint", "Sprintln", "Errorf":
+						flag(x.Pos(), "fmt."+name+" allocates its result")
+					}
+					return true
+				}
+				if boxed, ok := interfaceConversion(pass, x); ok {
+					flag(x.Pos(), "conversion boxes "+boxed+" into an interface")
+				}
+			case *ast.CompositeLit:
+				t := pass.TypeOf(x)
+				if inPanic || t == nil {
+					return true
+				}
+				switch t.Underlying().(type) {
+				case *types.Map:
+					flag(x.Pos(), "map literal allocates")
+				case *types.Slice:
+					flag(x.Pos(), "slice literal allocates")
+				}
+			case *ast.BinaryExpr:
+				if !inPanic && x.Op == token.ADD && isString(pass.TypeOf(x)) {
+					flag(x.Pos(), "string concatenation allocates")
+					return false // one report per concat chain
+				}
+			case *ast.AssignStmt:
+				if !inPanic && x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(pass.TypeOf(x.Lhs[0])) {
+					flag(x.Pos(), "string concatenation allocates")
+				}
+			}
+			return true
+		})
+	}
+	walk(n.Body, false)
+}
+
+// freshSliceLocals collects local slice variables whose declaration
+// guarantees no spare capacity: `var s []T` (nil) or `s := []T{...}`
+// (composite literal, len == cap). Appending to one of these must grow.
+// Locals initialized via make, a slice expression (s2 := s[:0]), a call,
+// or a field read are excluded — those are the scratch-buffer shapes.
+func freshSliceLocals(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		if rhs == nil {
+			fresh[obj] = true // var s []T
+			return
+		}
+		if _, ok := unparen(rhs).(*ast.CompositeLit); ok {
+			fresh[obj] = true // s := []T{...}
+		}
+	}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := nd.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && i < len(x.Rhs) {
+					mark(id, x.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					mark(id, rhs)
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// capturesVariables reports whether lit references any variable declared
+// outside the literal itself (including enclosing parameters and the
+// receiver). A literal with no captures is a static function value — no
+// allocation.
+func capturesVariables(pass *Pass, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		id, ok := nd.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		v, ok := pass.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level vars live in static storage — not captured.
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if declaredOutside(v, lit) {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// interfaceConversion reports whether call is an explicit conversion
+// T(x) to an interface type from a non-interface, non-pointer-shaped
+// value — the shape that forces a heap box. Pointers, maps, channels and
+// funcs fit in the interface word directly.
+func interfaceConversion(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "", false
+	}
+	if !isInterface(tv.Type) {
+		return "", false
+	}
+	argT := pass.TypeOf(call.Args[0])
+	if argT == nil || isInterface(argT) {
+		return "", false
+	}
+	switch argT.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return "", false
+	}
+	return argT.String(), true
+}
+
+// isPanicCall reports whether call is the builtin panic.
+func isPanicCall(pass *Pass, call *ast.CallExpr) bool {
+	return isBuiltin(pass, call.Fun, "panic")
+}
+
+// isBuiltin reports whether fun denotes the named universe builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -32,45 +32,88 @@ var closureSchedulers = map[string]int{
 // machines that is hundreds of thousands of allocations per simulated
 // hour whose only job is to carry a pointer the typed payload carries for
 // free. Deliberate cold-path exceptions carry "//eant:closure-ok <reason>".
+//
+// Scope is interprocedural since PR 9: a call site is in the hot path if
+// its package is one of hotPathPkgs (the original rule) OR the enclosing
+// function carries the hot fact from reach.go — so a helper in
+// internal/core or internal/cluster that schedules closures on behalf of
+// the driver no longer sails through.
 var HotClosure = &Analyzer{
 	Name: "hotclosure",
-	Doc:  "forbid closure-allocating Schedule/ScheduleAfter/Every calls on sim.Engine in the driver/engine hot path; use RegisterKind + ScheduleKind",
+	Doc:  "forbid closure-allocating Schedule/ScheduleAfter/Every calls on sim.Engine in the driver/engine hot path or any hot-marked function; use RegisterKind + ScheduleKind",
 	Run:  runHotClosure,
 }
 
 func runHotClosure(pass *Pass) error {
-	if !hotPathPkgs[pass.Path()] {
-		return nil
+	pkgHot := hotPathPkgs[pass.Path()]
+	hotEnclosing := map[ast.Node]bool{}
+	if !pkgHot {
+		for _, n := range pass.Mod.Graph.Nodes {
+			if n.Pkg == pass.pkg && n.Hot() && n.Body != nil {
+				hotEnclosing[n.Body] = true
+			}
+		}
+		if len(hotEnclosing) == 0 {
+			return nil
+		}
 	}
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			argIdx, scheduler := closureSchedulers[sel.Sel.Name]
-			if !scheduler || !namedFrom(pass.TypeOf(sel.X), "eant/internal/sim", "Engine") {
-				return true
-			}
-			if !pass.closureArg(call, sel.Sel.Name, argIdx) {
-				return true
-			}
-			reason, annotated := pass.Annotation(call.Pos(), "closure-ok")
-			if annotated {
-				if reason == "" {
-					pass.Reportf(call.Pos(), "//eant:closure-ok annotation needs a one-line reason")
+		var inHot func(root ast.Node, hot bool)
+		inHot = func(root ast.Node, hot bool) {
+			ast.Inspect(root, func(n ast.Node) bool {
+				if n != root && !pkgHot {
+					// Recurse at hot-region boundaries so nested literals
+					// switch scope with their own node's fact. In a
+					// hotPathPkgs package the whole file is in scope and no
+					// switching happens.
+					if body, ok := bodyOf(n); ok && hotEnclosing[body] != hot {
+						inHot(body, !hot)
+						return false
+					}
 				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				argIdx, scheduler := closureSchedulers[sel.Sel.Name]
+				if !scheduler || !namedFrom(pass.TypeOf(sel.X), "eant/internal/sim", "Engine") {
+					return true
+				}
+				if !hot && !pkgHot {
+					return true
+				}
+				if !pass.closureArg(call, sel.Sel.Name, argIdx) {
+					return true
+				}
+				reason, annotated := pass.Annotation(call.Pos(), "closure-ok")
+				if annotated {
+					if reason == "" {
+						pass.Reportf(call.Pos(), "//eant:closure-ok annotation needs a one-line reason")
+					}
+					return true
+				}
+				pass.Reportf(call.Pos(), "closure-allocating Engine.%s in the hot path: this allocates per event; register a typed kind (RegisterKind) and use ScheduleKind, or annotate //eant:closure-ok with a reason", sel.Sel.Name)
 				return true
-			}
-			pass.Reportf(call.Pos(), "closure-allocating Engine.%s in the hot path: this allocates per event; register a typed kind (RegisterKind) and use ScheduleKind, or annotate //eant:closure-ok with a reason", sel.Sel.Name)
-			return true
-		})
+			})
+		}
+		inHot(f, pkgHot)
 	}
 	return nil
+}
+
+// bodyOf returns the body block of a function declaration or literal.
+func bodyOf(n ast.Node) (*ast.BlockStmt, bool) {
+	switch x := n.(type) {
+	case *ast.FuncDecl:
+		return x.Body, x.Body != nil
+	case *ast.FuncLit:
+		return x.Body, x.Body != nil
+	}
+	return nil, false
 }
 
 // closureArg reports whether the scheduling call allocates a closure per

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -43,11 +44,21 @@ type annotation struct {
 }
 
 // A Loader parses and type-checks packages of this module. It shares one
-// FileSet and one source importer across loads, so dependency packages are
-// type-checked at most once per Loader.
+// FileSet and one source importer across loads, and caches every package
+// it has checked by the import path it was requested under, so a package
+// is type-checked at most once per Loader — whether it is loaded as an
+// analysis root or pulled in as a dependency of one.
 type Loader struct {
 	fset *token.FileSet
 	imp  types.Importer
+	// loaded caches checked packages by the path LoadDir was called with
+	// (NOT the "//eantlint:path" override, which only renames the package
+	// for rule scoping). A later LoadDir of the same path returns the
+	// cached package, and a root package importing that path resolves to
+	// it instead of re-type-checking the directory through the source
+	// importer — which is what lets fixture packages import each other
+	// and lets LoadAll check each module package exactly once.
+	loaded map[string]*Package
 	// Tests controls whether _test.go files are included. The lint suite
 	// analyzes non-test sources: test files may legitimately use wall-clock
 	// timeouts and ad-hoc randomness, and test-order dependence is caught
@@ -60,13 +71,44 @@ type Loader struct {
 // data and no network required.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	l := &Loader{fset: fset, loaded: map[string]*Package{}}
+	l.imp = importer.ForCompiler(fset, "source", nil)
+	return l
+}
+
+// Import implements types.Importer: already-loaded root packages resolve
+// from the Loader's cache, everything else (the standard library) falls
+// through to the source importer. Loader itself is the Importer handed to
+// every type-check, so module-internal imports never re-check a package a
+// previous LoadDir already produced.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p.Types, nil
+	}
+	return l.imp.Import(path)
 }
 
 // LoadDir loads the single package in dir under import path. An
 // "//eantlint:path" directive in any file overrides path (used by test
-// fixtures to exercise path-scoped rules).
+// fixtures to exercise path-scoped rules). Repeated loads of the same
+// import path return the cached package.
 func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	pkg, err := l.parseDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.check(pkg); err != nil {
+		return nil, err
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the package in dir without type-checking it.
+func (l *Loader) parseDir(dir, path string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -104,7 +146,12 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		annotations: map[annKey]annotation{},
 	}
 	pkg.indexComments()
+	return pkg, nil
+}
 
+// check type-checks a parsed package, resolving imports through the
+// Loader (cache first, source importer for the standard library).
+func (l *Loader) check(pkg *Package) error {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -113,14 +160,106 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		Implicits:  map[ast.Node]types.Object{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	conf := types.Config{Importer: l.imp}
-	tpkg, err := conf.Check(pkg.Path, l.fset, files, info)
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkg.Path, l.fset, pkg.Files, info)
 	if err != nil {
-		return nil, fmt.Errorf("type-checking %s: %w", pkg.Path, err)
+		return fmt.Errorf("type-checking %s: %w", pkg.Path, err)
 	}
+	// Mark complete so the package is usable as an import of a later root.
+	tpkg.MarkComplete()
 	pkg.Types = tpkg
 	pkg.Info = info
-	return pkg, nil
+	return nil
+}
+
+// LoadAll loads every package of the module at root exactly once: all
+// directories are parsed up front, ordered so dependencies precede their
+// dependents, and each is type-checked with module-internal imports served
+// from the packages already checked. The old per-LoadDir flow checked each
+// module package twice — once as a root with syntax, and again from source
+// whenever a later root imported it — which is the suite-runtime waste
+// this path removes. The result is sorted by import path.
+func (l *Loader) LoadAll(root string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	parsed := make([]*Package, 0, len(dirs))
+	byPath := make(map[string]*Package, len(dirs))
+	for _, dp := range dirs {
+		if p, ok := l.loaded[dp[1]]; ok {
+			parsed = append(parsed, p)
+			byPath[dp[1]] = p
+			continue
+		}
+		pkg, err := l.parseDir(dp[0], dp[1])
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, pkg)
+		byPath[dp[1]] = pkg
+	}
+
+	// Topological order by module-internal imports (imports are acyclic by
+	// construction; the go compiler would have rejected a cycle). The DFS
+	// visits packages in sorted-path order, so the order — and therefore
+	// every downstream artifact — is deterministic across loads.
+	order := make([]*Package, 0, len(parsed))
+	state := make(map[*Package]int, len(parsed)) // 0 new, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, imp := range p.importPaths() {
+			if strings.HasPrefix(imp, modPath+"/") || imp == modPath {
+				if dep, ok := byPath[imp]; ok && state[dep] != 1 {
+					visit(dep)
+				}
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range parsed {
+		visit(p)
+	}
+
+	for _, pkg := range order {
+		key := pkg.Path
+		if _, ok := l.loaded[key]; ok {
+			continue
+		}
+		if err := l.check(pkg); err != nil {
+			return nil, err
+		}
+		l.loaded[key] = pkg
+	}
+	sort.Slice(parsed, func(i, j int) bool { return parsed[i].Path < parsed[j].Path })
+	return parsed, nil
+}
+
+// importPaths returns the package's imports, deduplicated and sorted.
+func (p *Package) importPaths() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // indexComments scans every comment for "//eant:<name> <reason>"

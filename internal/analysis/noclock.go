@@ -33,17 +33,33 @@ var wallClockFuncs = map[string]bool{
 // internal/ must not read the wall clock — sim.Engine owns time. A
 // time.Now snuck into a scheduler or experiment would make runs
 // irreproducible in a way seeded tests cannot reliably catch.
+//
+// The check is interprocedural: direct time.Now/time.Since calls are
+// flagged where they occur, and calls into *unchecked* packages (the
+// clock allowlist, cmd/, anything outside internal/) whose callees
+// transitively reach the wall clock are flagged at the call site that
+// imports the taint, with the witness chain in the message. Escape with
+// "//eant:clock-ok <reason>" on the call.
 var NoClock = &Analyzer{
 	Name: "noclock",
-	Doc:  "forbid wall-clock reads (time.Now, time.Since, timers) in internal simulation packages; the sim engine owns time",
+	Doc:  "forbid wall-clock reads (time.Now, time.Since, timers) in internal simulation packages, including transitively through unchecked packages; the sim engine owns time",
 	Run:  runNoClock,
+}
+
+// clockChecked reports whether a package's own body is subject to the
+// intra-package noclock rule — taints inside it are flagged directly
+// there, so edges into it need no frontier report.
+func clockChecked(path string) bool {
+	return strings.HasPrefix(path, "eant/internal/") && !clockAllowlist[path]
 }
 
 func runNoClock(pass *Pass) error {
 	path := pass.Path()
-	if !strings.HasPrefix(path, "eant/internal/") || clockAllowlist[path] {
+	if !clockChecked(path) {
 		return nil
 	}
+	reportTransitiveTaint(pass, TaintClock, clockChecked, "clock-ok",
+		"use the sim engine's virtual clock")
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)

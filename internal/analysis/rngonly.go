@@ -22,16 +22,34 @@ var bannedRand = map[string]string{
 // package may import math/rand, math/rand/v2 or crypto/rand. All
 // randomness flows through sim.RNG so that one master seed determines
 // every stream and golden outputs replay bit-for-bit.
+//
+// The import ban is intra-package; on top of it, calls into *unchecked*
+// packages (the sim exemption, cmd/, anything outside internal/) whose
+// callees transitively draw from the global math/rand generators or
+// crypto/rand are flagged at the call site that imports the taint.
+// Constructors over explicit sources (rand.New(rand.NewSource(seed))) do
+// not taint — they are exactly how the seeded sim.RNG streams are built.
+// Escape with "//eant:rand-ok <reason>" on the call.
 var RngOnly = &Analyzer{
 	Name: "rngonly",
-	Doc:  "forbid math/rand and crypto/rand imports outside internal/sim; randomness must flow through sim.RNG",
+	Doc:  "forbid math/rand and crypto/rand imports outside internal/sim, and calls that transitively draw global randomness; randomness must flow through sim.RNG",
 	Run:  runRngOnly,
 }
 
+// rngChecked reports whether a package's own body is subject to the
+// intra-package import ban. Unlike the clock rule, the randomness ban
+// covers everything — cmd/ entry points included; only the sim.RNG
+// wrapper package touches raw generators.
+func rngChecked(path string) bool {
+	return !rngExempt[path]
+}
+
 func runRngOnly(pass *Pass) error {
-	if rngExempt[pass.Path()] {
+	if !rngChecked(pass.Path()) {
 		return nil
 	}
+	reportTransitiveTaint(pass, TaintRand, rngChecked, "rand-ok",
+		"route the draw through sim.RNG (forked from the run seed)")
 	for _, f := range pass.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)

@@ -1,0 +1,90 @@
+// Fixture: allocating constructs inside functions reachable from the
+// engine loop. setup registers tick as a typed kind, which makes tick a
+// hot root and everything it reaches hot; cold functions and hot-stop
+// annotated ones stay unflagged.
+package hotallochot
+
+import (
+	"fmt"
+
+	"eant/internal/sim"
+)
+
+type stringer interface{ String() string }
+
+type point struct{ x, y int }
+
+func (p point) String() string { return "point" }
+
+type ticker struct {
+	engine  *sim.Engine
+	kind    sim.EventKind
+	scratch []int
+	names   map[int]string
+	label   string
+	sum     int
+}
+
+func (t *ticker) setup() {
+	t.kind = t.engine.RegisterKind(t.tick)
+}
+
+func (t *ticker) tick(i int, arg any) {
+	t.names = make(map[int]string) // want `make allocates in hot function`
+	var fresh []int
+	fresh = append(fresh, i)         // want `append to freshly-declared slice grows without capacity`
+	t.scratch = append(t.scratch, i) // field-rooted scratch buffer: allowed
+	buf := t.scratch[:0]
+	buf = append(buf, i)                // re-sliced scratch: allowed
+	t.label = fmt.Sprintf("tick %d", i) // want `fmt\.Sprintf allocates its result in hot function`
+	t.label = t.label + "!"             // want `string concatenation allocates`
+	n := i
+	f := func() int { return n } // want `closure literal captures variables`
+	t.sum += f()
+	g := func() int { return 42 } // non-capturing literal: static function, allowed
+	t.sum += g()
+	t.box(i)
+	t.lazy()
+	t.annotated()
+	t.badAnnotation()
+	t.sum += fresh[0] + buf[0]
+}
+
+// box is hot transitively through tick.
+func (t *ticker) box(i int) {
+	p := point{x: i} // struct composite: no allocation, allowed
+	if i < 0 {
+		panic(fmt.Sprintf("bad index %d", i)) // panic path: exempt
+	}
+	_ = stringer(p) // want `conversion boxes`
+}
+
+// lazy builds its index the first time the loop reaches it — excluded
+// from the hot set, together with everything only it reaches.
+//
+//eant:hot-stop one-time lazy construction, not steady-state work
+func (t *ticker) lazy() {
+	if t.names == nil {
+		t.names = make(map[int]string)
+	}
+}
+
+func (t *ticker) annotated() {
+	t.names = make(map[int]string, 1) //eant:alloc-ok fixture: capacity-bounded one-shot
+}
+
+func (t *ticker) badAnnotation() {
+	//eant:alloc-ok
+	t.names = make(map[int]string) // want `//eant:alloc-ok annotation must carry a reason`
+}
+
+//eant:hot-stop
+func (t *ticker) badStop() {} // want `//eant:hot-stop annotation must carry a reason`
+
+// cold is never reached from the loop: everything here is allowed.
+func cold() map[int]bool {
+	m := map[int]bool{}
+	s := fmt.Sprint("cold")
+	m[len(s)] = true
+	return m
+}

@@ -1,0 +1,25 @@
+// Fixture: hotclosure follows the hot fact outside its two hard-coded
+// packages. This package is not in hotPathPkgs, but tick is registered
+// as a typed handler — a hot root — so closure scheduling inside it is
+// flagged, while the same call on a cold path is allowed.
+package hotclosurehotfn
+
+import "eant/internal/sim"
+
+type helper struct {
+	engine *sim.Engine
+	kind   sim.EventKind
+}
+
+func (h *helper) setup() {
+	h.kind = h.engine.RegisterKind(h.tick)
+}
+
+func (h *helper) tick(i int, arg any) {
+	h.engine.Schedule(0, func() {}) // want `closure-allocating Engine\.Schedule in the hot path`
+}
+
+// coldSchedule is neither hot nor in a hot-listed package: allowed.
+func (h *helper) coldSchedule() {
+	h.engine.Schedule(0, func() {})
+}

@@ -1,0 +1,24 @@
+// Fixture dependency: a helper package outside every checked import
+// path. Its wall-clock read and its allocation are invisible to the
+// intra-package rules — the interprocedural layer must carry the facts
+// across the package boundary (taint to the callers in interproc_root,
+// hotness from them back into here).
+package interprocdep
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stamp reads the wall clock; callers in checked packages import the
+// taint and are flagged at their call sites.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Describe allocates. It is flagged only because a hot caller in
+// interproc_root pulls it onto the engine loop.
+func Describe(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf allocates its result in hot function`
+}
+
+// Label is clean: no taint, no allocation.
+func Label() string { return "dep" }

@@ -1,0 +1,18 @@
+// Fixture: interface dispatch for the call-graph tests. A call through
+// collector must produce one dispatch edge per implementing type in the
+// module, and the taint of any implementation must reach the caller.
+package interprociface
+
+import "time"
+
+type collector interface{ collect() int }
+
+type clocky struct{}
+
+func (clocky) collect() int { return int(time.Now().Unix()) }
+
+type pure struct{ n int }
+
+func (p pure) collect() int { return p.n }
+
+func gather(c collector) int { return c.collect() }

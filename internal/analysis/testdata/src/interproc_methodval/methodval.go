@@ -1,0 +1,30 @@
+// Fixture: function values outside call position. A method value bound
+// to a variable, stored in a function-typed struct field, or passed as
+// an argument produces a conservative ref edge from the enclosing
+// function — whoever receives the value may invoke it there.
+package interprocmethodval
+
+import "time"
+
+type worker struct{ fn func() int64 }
+
+func (w *worker) stamp() int64 { return time.Now().UnixNano() }
+
+// build stores a method value in a function-typed field: ref edge
+// build → (worker).stamp, so build carries the clock taint.
+func build() *worker {
+	w := &worker{}
+	w.fn = w.stamp
+	return w
+}
+
+// handoff passes a method value as an argument: ref edge
+// handoff → (worker).stamp.
+func handoff(run func(func() int64), w *worker) {
+	run(w.stamp)
+}
+
+// indirect calls through the field. The graph does not track values
+// through struct fields, so indirect itself stays untainted — the taint
+// was charged to build/handoff at the point the value escaped.
+func indirect(w *worker) int64 { return w.fn() }

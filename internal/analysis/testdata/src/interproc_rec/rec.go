@@ -1,0 +1,22 @@
+// Fixture: mutual recursion. The taint fixpoint must terminate and both
+// halves of the cycle must carry the clock taint introduced at the base
+// of the recursion.
+package interprocrec
+
+import "time"
+
+func even(n int) bool {
+	if n == 0 {
+		return wall() > 0
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+func wall() int64 { return time.Now().Unix() }

@@ -1,0 +1,16 @@
+//eantlint:path eant/internal/sim
+
+// Fixture: the RNG wrapper package is exempt from the import ban, so a
+// global draw hiding here is invisible to the intra-package rule; the
+// taint must reach callers through the call graph.
+package interprocrngdep
+
+import "math/rand"
+
+// Jitter draws from the shared global generator — nondeterministic
+// across runs, tainted.
+func Jitter() float64 { return rand.Float64() }
+
+// Seeded builds an explicitly-seeded stream: the sanctioned
+// construction, not tainted.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,19 @@
+//eantlint:path eant/internal/core
+
+// Fixture: a checked policy package reaching the global generator
+// through the exempt wrapper package. Load with analysistest.RunModule,
+// dependency first.
+package interprocrngroot
+
+import dep "fixture/interproc_rng_dep"
+
+func pick() float64 {
+	return dep.Jitter() // want `call to eant/internal/sim\.Jitter transitively reaches math/rand\.Float64`
+}
+
+// seeded uses the explicitly-seeded constructor route: clean.
+func seeded() float64 { return dep.Seeded(7).Float64() }
+
+func annotated() float64 {
+	return dep.Jitter() //eant:rand-ok fixture: documented exception
+}

@@ -1,0 +1,50 @@
+//eantlint:path eant/internal/mapreduce
+
+// Fixture: a checked driver package importing taint and exporting
+// hotness through the unchecked interproc_dep package — the catches the
+// old per-package analyzers miss. Load with analysistest.RunModule,
+// dependency first.
+package interprocroot
+
+import (
+	"eant/internal/sim"
+
+	dep "fixture/interproc_dep"
+)
+
+type driver struct {
+	engine *sim.Engine
+	beat   sim.EventKind
+	last   int64
+	n      int
+}
+
+func (d *driver) setup() {
+	d.beat = d.engine.RegisterKind(d.tick)
+}
+
+// tick is a typed handler: a hot root through the dispatch table.
+func (d *driver) tick(i int, arg any) {
+	d.last = dep.Stamp() // want `call to fixture/interproc_dep\.Stamp transitively reaches time\.Now`
+	d.format()
+}
+
+// format is hot transitively; the allocation it causes lives in the dep
+// package and is flagged there.
+func (d *driver) format() {
+	d.n = len(dep.Describe(d.n))
+}
+
+// coldStamp is not hot, but the virtual-clock contract covers the whole
+// package: the transitive wall-clock read is flagged here too.
+func (d *driver) coldStamp() {
+	d.last = dep.Stamp() // want `transitively reaches time\.Now`
+}
+
+// annotated documents a sanctioned exception at the frontier call site.
+func (d *driver) annotated() {
+	d.last = dep.Stamp() //eant:clock-ok fixture: process-boundary logging
+}
+
+// clean calls into the dep carry no taint and stay silent.
+func (d *driver) clean() string { return dep.Label() }

@@ -58,6 +58,10 @@ type EAnt struct {
 	// reduceMeans memoizes, per job ID, the fleet-mean reduce-compute
 	// estimate (static: shuffle volume and specs are fixed at submission).
 	reduceMeans map[int]float64
+
+	// activeScratch is the control-tick scratch set of live job IDs,
+	// hoisted to a field so the tick handler allocates nothing.
+	activeScratch map[int]bool
 }
 
 // hostIndex is one map colony's per-control-interval view of the fleet
@@ -80,7 +84,7 @@ type hostIndex struct {
 
 // countAtLeast returns how many ranked machines have trail ≥ threshold.
 func (idx *hostIndex) countAtLeast(threshold float64) int {
-	return sort.Search(len(idx.vals), func(i int) bool { return idx.vals[i] < threshold })
+	return sort.Search(len(idx.vals), func(i int) bool { return idx.vals[i] < threshold }) //eant:alloc-ok non-escaping predicate, stack-allocated
 }
 
 // TrailSnapshot is one colony's pheromone row at a control tick.
@@ -141,6 +145,7 @@ func (e *EAnt) ResetForRun(p Params) error {
 		}
 		e.indexed = e.indexed[:0]
 		clear(e.reduceMeans)
+		clear(e.activeScratch)
 	}
 	if e.trackTrails {
 		e.trails = make(map[ColonyKey][]TrailSnapshot)
@@ -188,6 +193,11 @@ func (e *EAnt) init(ctx *mapreduce.Context) {
 	}
 }
 
+// initSlow performs the one-time construction. Excluded from the hot set:
+// it runs exactly once per run, so its allocations (and the cold helpers
+// only it reaches, like Cluster.TypeNames) are not steady-state work.
+//
+//eant:hot-stop one-time lazy construction, not steady-state work
 func (e *EAnt) initSlow(ctx *mapreduce.Context) {
 	mx, err := NewMatrix(ctx.Cluster.Size(), e.p)
 	if err != nil {
@@ -196,6 +206,7 @@ func (e *EAnt) initSlow(ctx *mapreduce.Context) {
 	e.mx = mx
 	e.tickSeq = 1
 	e.reduceMeans = make(map[int]float64)
+	e.activeScratch = make(map[int]bool)
 	for _, name := range ctx.Cluster.TypeNames() {
 		var ids []int
 		for _, m := range ctx.Cluster.ByType(name) {
@@ -401,7 +412,7 @@ func (e *EAnt) buildIndex(ctx *mapreduce.Context, c *colony) *hostIndex {
 	}
 	machines := ctx.Cluster.Machines()
 	if cap(idx.rankOf) < len(machines) {
-		idx.rankOf = make([]int, len(machines))
+		idx.rankOf = make([]int, len(machines)) //eant:alloc-ok grows once to fleet size, then reused every interval
 	}
 	idx.rankOf = idx.rankOf[:len(machines)]
 	for i := range idx.rankOf {
@@ -414,7 +425,7 @@ func (e *EAnt) buildIndex(ctx *mapreduce.Context, c *colony) *hostIndex {
 		}
 	}
 	row := c.row
-	sort.Slice(ids, func(a, b int) bool {
+	sort.Slice(ids, func(a, b int) bool { //eant:alloc-ok per-interval index rebuild, not per-offer; comparator does not escape
 		//eant:float-eq-ok sort tie-break: exact equality routes ties to the deterministic ID fallback
 		if row[ids[a]] != row[ids[b]] {
 			return row[ids[a]] > row[ids[b]]
@@ -614,7 +625,8 @@ func (e *EAnt) OnControlTick(ctx *mapreduce.Context) {
 	// reference to a retired colony.
 	e.tickSeq++
 	e.indexed = e.indexed[:0]
-	active := make(map[int]bool, len(ctx.ActiveJobs()))
+	active := e.activeScratch
+	clear(active)
 	for _, j := range ctx.ActiveJobs() {
 		active[j.Spec.ID] = true
 	}
@@ -623,11 +635,11 @@ func (e *EAnt) OnControlTick(ctx *mapreduce.Context) {
 			delete(e.reduceMeans, id)
 		}
 	}
-	e.mx.RetireInactive(func(jobID int) bool { return active[jobID] })
+	e.mx.RetireInactive(func(jobID int) bool { return active[jobID] }) //eant:alloc-ok per-control-tick predicate, not per-offer
 	// Crashed machines' trails are frozen out of the exchange and left to
 	// evaporate (nil when the fleet is healthy, preserving Update exactly).
 	if e.unavailable == nil {
-		e.unavailable = make([]bool, ctx.Cluster.Size())
+		e.unavailable = make([]bool, ctx.Cluster.Size()) //eant:alloc-ok lazy one-time init, amortized across the run
 	}
 	anyDown := false
 	for i := range e.unavailable {

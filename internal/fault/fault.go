@@ -233,10 +233,12 @@ func (in *Injector) Start(engine *sim.Engine, machines int, hooks Hooks) {
 // length stay O(live events).
 func (in *Injector) scheduleCrash(engine *sim.Engine, id int, hooks Hooks) {
 	up := in.phase(in.cfg.MachineMTBF)
-	engine.ScheduleAfter(up, func() {
+	//eant:alloc-ok one live closure per machine at MTBF timescale, not per event
+	engine.ScheduleAfter(up, func() { //eant:closure-ok one live closure per machine at MTBF timescale, not per event
 		hooks.Crash(id)
 		down := in.phase(in.cfg.MachineMTTR)
-		engine.ScheduleAfter(down, func() {
+		//eant:alloc-ok one live closure per machine at MTTR timescale, not per event
+		engine.ScheduleAfter(down, func() { //eant:closure-ok one live closure per machine at MTTR timescale, not per event
 			hooks.Recover(id)
 			in.scheduleCrash(engine, id, hooks)
 		})

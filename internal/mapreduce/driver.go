@@ -563,7 +563,7 @@ func (d *Driver) controlTick() {
 	if d.cfg.KeepAssignmentHistory {
 		snap := IntervalAssignments{At: d.engine.Now(), Counts: d.intervalAssign}
 		d.stats.Assignments = append(d.stats.Assignments, snap)
-		d.intervalAssign = make(map[int]map[int]int)
+		d.intervalAssign = make(map[int]map[int]int) //eant:alloc-ok KeepAssignmentHistory opt-in, once per control tick
 	}
 	if d.probe != nil {
 		d.probe.ControlTick(d.engine.Now(), d.meter.TotalJoules(), d.stats.TasksDone())
@@ -903,7 +903,7 @@ func (d *Driver) estimateJoules(t *Task) float64 {
 	// intervals reports k samples, so the reconstructed duration is the
 	// actual one rounded to the nearest heartbeat multiple (unbiased for
 	// short tasks, unlike rounding up).
-	quantize := func(secs float64) time.Duration {
+	quantize := func(secs float64) time.Duration { //eant:alloc-ok non-escaping local closure, stack-allocated
 		n := math.Round(secs / dt.Seconds())
 		if n < 1 {
 			n = 1
@@ -957,7 +957,7 @@ func (d *Driver) noteStart(t *Task, m *cluster.Machine) {
 	if d.cfg.KeepAssignmentHistory {
 		byMachine := d.intervalAssign[j.Spec.ID]
 		if byMachine == nil {
-			byMachine = make(map[int]int)
+			byMachine = make(map[int]int) //eant:alloc-ok KeepAssignmentHistory opt-in, once per (job, interval)
 			d.intervalAssign[j.Spec.ID] = byMachine
 		}
 		byMachine[m.ID]++

@@ -219,7 +219,7 @@ func (d *Driver) failJob(j *Job) {
 	d.dropJobAggregates(j)
 	j.pendingHead = len(j.pendingMaps)
 	j.reduceHead = len(j.pendingReduces)
-	j.localPending = make(map[int][]int)
+	j.localPending = make(map[int][]int) //eant:alloc-ok job-failure path, rare by construction
 
 	d.stats.JobsFailed++
 	d.stats.Jobs = append(d.stats.Jobs, JobResult{

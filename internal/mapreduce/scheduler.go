@@ -211,7 +211,7 @@ func (c *Context) EstimateMapSeconds(j *Job, spec *cluster.TypeSpec) float64 {
 	prof := workload.ProfileOf(j.Spec.App)
 	_, total := mapService(prof, workload.BlockMB, spec, true, c.driver.cfg.NetShareDivisor)
 	if c.driver.mapEst == nil {
-		c.driver.mapEst = make(map[mapEstKey]float64, 32)
+		c.driver.mapEst = make(map[mapEstKey]float64, 32) //eant:alloc-ok lazy memo table, amortized across the run
 	}
 	c.driver.mapEst[key] = total
 	return total
@@ -227,7 +227,7 @@ func (c *Context) EstimateReduceSeconds(j *Job, spec *cluster.TypeSpec) float64 
 	prof := workload.ProfileOf(j.Spec.App)
 	_, _, compute := reduceService(prof, j.Spec.ShuffleMBPerReduce(), spec, c.driver.cfg.NetShareDivisor)
 	if j.reduceEst == nil {
-		j.reduceEst = make(map[*cluster.TypeSpec]float64, 8)
+		j.reduceEst = make(map[*cluster.TypeSpec]float64, 8) //eant:alloc-ok lazy memo table, amortized per job
 	}
 	j.reduceEst[spec] = compute
 	return compute

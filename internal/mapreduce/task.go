@@ -143,7 +143,7 @@ func (t *Task) resetForRetry() {
 
 // ID returns a stable task identifier: "job3/map/17".
 func (t *Task) ID() string {
-	return fmt.Sprintf("job%d/%s/%d", t.Job.Spec.ID, t.Kind, t.Index)
+	return fmt.Sprintf("job%d/%s/%d", t.Job.Spec.ID, t.Kind, t.Index) //eant:alloc-ok diagnostic identifier, built on retry/trace paths only
 }
 
 // Duration returns the task's total service time; valid once done.
@@ -353,13 +353,13 @@ func (j *Job) popReduce() *Task {
 // RunningAttempts returns the job's in-flight attempts of one kind,
 // ordered by (task index, speculative flag) for deterministic iteration.
 func (j *Job) RunningAttempts(kind TaskKind) []*Task {
-	out := make([]*Task, 0, len(j.runningSet))
+	out := make([]*Task, 0, len(j.runningSet)) //eant:alloc-ok speculation/recovery scan, per control tick at most
 	for t := range j.runningSet {
 		if t.Kind == kind {
 			out = append(out, t)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
+	sort.Slice(out, func(a, b int) bool { //eant:alloc-ok speculation/recovery scan, per control tick at most
 		if out[a].Index != out[b].Index {
 			return out[a].Index < out[b].Index
 		}

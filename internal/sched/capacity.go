@@ -83,8 +83,8 @@ func (c *Capacity) ResetForRun() {
 func (c *Capacity) queueOrder(ctx *mapreduce.Context) []int {
 	total := float64(ctx.TotalSlots())
 	if c.idx == nil {
-		c.idx = make([]int, len(c.queues))
-		c.deficit = make([]float64, len(c.queues))
+		c.idx = make([]int, len(c.queues))         //eant:alloc-ok lazy one-time init, amortized across the run
+		c.deficit = make([]float64, len(c.queues)) //eant:alloc-ok lazy one-time init, amortized across the run
 	}
 	idx, deficit := c.idx, c.deficit
 	for i := range c.queues {
@@ -131,7 +131,7 @@ func (c *Capacity) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapred
 
 // AssignReduce implements mapreduce.Scheduler.
 func (c *Capacity) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
-	j, qi := c.assign(ctx, func(j *mapreduce.Job) bool { return ctx.ReduceReady(j) })
+	j, qi := c.assign(ctx, func(j *mapreduce.Job) bool { return ctx.ReduceReady(j) }) //eant:alloc-ok non-escaping predicate, stack-allocated
 	if j == nil {
 		return nil
 	}

@@ -22,6 +22,10 @@ type Fair struct {
 
 	// skipped counts consecutive non-local offers per job ID.
 	skipped map[int]int
+
+	// considered is the per-offer scratch set for the delay-scheduling
+	// walk, hoisted to a field so steady-state offers allocate nothing.
+	considered map[int]bool
 }
 
 // NewFair returns a Fair scheduler without delay scheduling.
@@ -42,6 +46,7 @@ func (f *Fair) Name() string { return "Fair" }
 // same instance can drive another simulation from scratch.
 func (f *Fair) ResetForRun() {
 	clear(f.skipped)
+	clear(f.considered)
 }
 
 // neediest returns the eligible job with the largest fair-share deficit
@@ -75,17 +80,18 @@ func (f *Fair) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.
 	// Delay scheduling: walk jobs in deficit order; take the first with
 	// local work, let others accrue skips until their wait expires.
 	if f.skipped == nil {
-		f.skipped = make(map[int]int)
+		f.skipped = make(map[int]int) //eant:alloc-ok lazy one-time init, amortized across the run
+		f.considered = map[int]bool{} //eant:alloc-ok lazy one-time init, amortized across the run
 	}
-	considered := map[int]bool{}
+	clear(f.considered)
 	for {
-		j := neediest(ctx, func(j *mapreduce.Job) bool {
-			return j.PendingMaps() > 0 && !considered[j.Spec.ID]
+		j := neediest(ctx, func(j *mapreduce.Job) bool { //eant:alloc-ok non-escaping predicate, stack-allocated
+			return j.PendingMaps() > 0 && !f.considered[j.Spec.ID]
 		})
 		if j == nil {
 			return nil
 		}
-		considered[j.Spec.ID] = true
+		f.considered[j.Spec.ID] = true
 		if ctx.HasLocalMap(j, m) {
 			f.skipped[j.Spec.ID] = 0
 			return ctx.PopMapPreferLocal(j, m)
@@ -100,7 +106,7 @@ func (f *Fair) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.
 
 // AssignReduce implements mapreduce.Scheduler.
 func (f *Fair) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
-	j := neediest(ctx, func(j *mapreduce.Job) bool { return ctx.ReduceReady(j) })
+	j := neediest(ctx, func(j *mapreduce.Job) bool { return ctx.ReduceReady(j) }) //eant:alloc-ok non-escaping predicate, stack-allocated
 	if j == nil {
 		return nil
 	}
