@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-baseline vet fmt check bench-smoke cover
+.PHONY: all build test race lint lint-baseline vet fmt check bench-smoke bench cover
 
 all: check
 
@@ -18,8 +18,9 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # The eantlint multichecker: rngonly, noclock, maporder, floatsum,
-# statsmut, hotclosure, hotalloc, resetstate — interprocedural since the
-# call-graph layer landed, so the whole module is analyzed as one unit.
+# statsmut, hotclosure, hotalloc, resetstate, ptrretain —
+# interprocedural since the call-graph layer landed, so the whole
+# module is analyzed as one unit.
 # Known debt lives in lint.baseline; new findings exit non-zero with
 # file:line diagnostics.
 lint:
@@ -41,7 +42,22 @@ bench-smoke:
 	$(GO) test -run xxx -bench SimulatorThroughput -benchtime=1x -benchmem .
 	$(GO) test -run xxx -bench BenchmarkDisabledProbe -benchtime=1000x -benchmem ./internal/probe
 
-# Per-package statement coverage for the observability and analysis
-# packages; CI enforces floors on these (see .github/workflows/ci.yml).
+# The full scale grid plus the warm/cold sweep pair, benchstat-friendly:
+# fixed iteration counts (not -benchtime=Ns) so allocs/op is comparable
+# across commits, and COUNT-many repetitions so benchstat can attach
+# confidence intervals. Pipe two runs into benchstat to compare:
+#   make bench > /tmp/old.txt  (on the base commit)
+#   make bench > /tmp/new.txt  (on your branch)
+#   benchstat /tmp/old.txt /tmp/new.txt
+# BENCH_*.json record the committed history of these numbers. On shared
+# hardware, trust grid-wide trends over single cells (EXPERIMENTS.md).
+COUNT ?= 5
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkScale$$' -benchtime=10x -benchmem -count=$(COUNT) .
+	$(GO) test -run xxx -bench 'BenchmarkRunManyWarm$$' -benchtime=20x -benchmem -count=$(COUNT) .
+
+# Per-package statement coverage for the observability packages and the
+# world-state core; CI enforces floors on these (see
+# .github/workflows/ci.yml).
 cover:
-	$(GO) test -cover ./internal/probe ./internal/trace ./internal/metrics
+	$(GO) test -cover ./internal/probe ./internal/trace ./internal/metrics ./internal/cluster

@@ -200,5 +200,5 @@ func sortDiags(diags []Diagnostic) {
 
 // All returns the full suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{RngOnly, NoClock, MapOrder, FloatSum, StatsMut, HotClosure, HotAlloc, ResetState}
+	return []*Analyzer{RngOnly, NoClock, MapOrder, FloatSum, StatsMut, HotClosure, HotAlloc, ResetState, PtrRetain}
 }

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PtrRetain enforces the handle contract of the struct-of-arrays world
+// state (DESIGN.md §17): per-machine scalars live in dense slice columns,
+// so the address of a slice element (`&col[i]`) is only stable for as long
+// as the backing array does not relocate. Taking such an address and
+// storing it somewhere that outlives the current event — a struct field, a
+// package-level variable, a composite literal that is itself retained —
+// plants a dangling-pointer bug that goes off the day the column is grown
+// with append. Keep the index (or a Machine handle) instead, and resolve it
+// to an element on use; genuinely fixed-size retention may carry an
+// "//eant:retain-ok <reason>" annotation.
+var PtrRetain = &Analyzer{
+	Name: "ptrretain",
+	Doc:  "flag slice-element addresses (&col[i]) stored in struct fields or package variables: append may relocate the backing array; retain the index or handle, or annotate //eant:retain-ok",
+	Run:  runPtrRetain,
+}
+
+// sliceElemAddr reports whether e takes the address of a slice element:
+// a unary &x[i] where x has slice type (array elements do not relocate and
+// are exempt).
+func (p *Pass) sliceElemAddr(e ast.Expr) bool {
+	un, ok := e.(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return false
+	}
+	idx, ok := un.X.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := p.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	_, isSlice := t.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// retainTarget classifies an lvalue that makes a stored address outlive the
+// storing statement: a struct field (x.f), any indexed cell (x[i] — the
+// container plausibly outlives the event), or a package-level variable. It
+// returns a human-readable label and true for such targets.
+func (p *Pass) retainTarget(lhs ast.Expr) (string, bool) {
+	switch x := lhs.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return "field " + x.Sel.Name, true
+		}
+		// Package-qualified variable (pkg.Var).
+		if obj := p.rootObject(lhs); obj != nil && isPackageLevel(obj) {
+			return "package variable " + obj.Name(), true
+		}
+	case *ast.IndexExpr:
+		return "container element", true
+	case *ast.Ident:
+		if obj := p.ObjectOf(x); obj != nil && isPackageLevel(obj) {
+			return "package variable " + obj.Name(), true
+		}
+	case *ast.StarExpr:
+		// Writing through a pointer lands outside the local frame.
+		return "pointed-to location", true
+	}
+	return "", false
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Parent() == obj.Pkg().Scope()
+}
+
+// checkRetainAnnotation handles the escape hatch for one statement; it
+// returns true when an //eant:retain-ok annotation covers it, reporting the
+// annotation itself if the mandatory reason is missing.
+func (p *Pass) checkRetainAnnotation(pos ast.Node) bool {
+	reason, ok := p.Annotation(pos.Pos(), "retain-ok")
+	if !ok {
+		return false
+	}
+	if reason == "" {
+		p.Reportf(pos.Pos(), "//eant:retain-ok annotation needs a one-line reason")
+	}
+	return true
+}
+
+func runPtrRetain(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					if !pass.sliceElemAddr(rhs) || i >= len(x.Lhs) {
+						continue
+					}
+					target, retained := pass.retainTarget(x.Lhs[i])
+					if !retained {
+						continue
+					}
+					if pass.checkRetainAnnotation(x) {
+						continue
+					}
+					pass.Reportf(rhs.Pos(), "address of slice element stored in %s: append may relocate the backing array; retain the index or a handle, or annotate //eant:retain-ok", target)
+				}
+			case *ast.CompositeLit:
+				// &col[i] placed in a struct/map/slice literal: the literal
+				// value routinely outlives the event that built it.
+				for _, el := range x.Elts {
+					v := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if !pass.sliceElemAddr(v) {
+						continue
+					}
+					if pass.checkRetainAnnotation(v) {
+						continue
+					}
+					pass.Reportf(v.Pos(), "address of slice element placed in a composite literal: append may relocate the backing array; retain the index or a handle, or annotate //eant:retain-ok")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

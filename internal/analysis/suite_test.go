@@ -29,6 +29,7 @@ var fixtures = []struct {
 	{"hotclosure_hotfn", analysis.HotClosure},
 	{"hotalloc_hot", analysis.HotAlloc},
 	{"resetstate", analysis.ResetState},
+	{"ptrretain", analysis.PtrRetain},
 }
 
 func TestFixtures(t *testing.T) {
@@ -64,8 +65,8 @@ func TestSuiteComplete(t *testing.T) {
 		covered[f.analyzer.Name] = true
 	}
 	all := analysis.All()
-	if len(all) != 8 {
-		t.Fatalf("All() has %d analyzers, want 8", len(all))
+	if len(all) != 9 {
+		t.Fatalf("All() has %d analyzers, want 9", len(all))
 	}
 	for _, a := range all {
 		if !covered[a.Name] {

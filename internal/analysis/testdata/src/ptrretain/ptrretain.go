@@ -1,0 +1,62 @@
+// Fixture: addresses of slice elements must not be retained across event
+// boundaries — append may relocate the backing column. Indices and value
+// handles are fine; annotated fixed-size retention is tolerated.
+package ptrretain
+
+type sample struct{ util float64 }
+
+type probe struct {
+	cur  *sample
+	slot int
+}
+
+var columns = struct {
+	util []float64
+}{util: make([]float64, 8)}
+
+var lastUtil *float64
+
+type world struct {
+	samples []sample
+	byName  map[string]*sample
+}
+
+func (w *world) retainField(p *probe, i int) {
+	p.cur = &w.samples[i] // want `address of slice element stored in field cur`
+}
+
+func (w *world) retainPackageVar(i int) {
+	lastUtil = &columns.util[i] // want `address of slice element stored in package variable lastUtil`
+}
+
+func (w *world) retainInMap(name string, i int) {
+	w.byName[name] = &w.samples[i] // want `address of slice element stored in container element`
+}
+
+func (w *world) retainInLiteral(i int) probe {
+	return probe{cur: &w.samples[i]} // want `address of slice element placed in a composite literal`
+}
+
+func (w *world) retainAnnotated(p *probe, i int) {
+	p.cur = &w.samples[i] //eant:retain-ok samples is sized once at construction and never appended to
+}
+
+func (w *world) retainAnnotatedNoReason(p *probe, i int) {
+	//eant:retain-ok
+	p.cur = &w.samples[i] // want `//eant:retain-ok annotation needs a one-line reason`
+}
+
+func (w *world) localUseIsFine(i int) float64 {
+	s := &w.samples[i] // local scratch pointer: dies with the frame
+	return s.util
+}
+
+func (w *world) indexRetentionIsFine(p *probe, i int) {
+	p.slot = i // retaining the index is the sanctioned pattern
+}
+
+func (w *world) arrayElementIsFine(p *probe) {
+	var fixed [4]sample
+	p.cur = &fixed[0] // array backing storage never relocates
+	_ = fixed
+}

@@ -1,5 +1,7 @@
 package cluster
 
+import "fmt"
+
 // Machine catalog reproducing the paper's testbed (Table I and §V-B).
 //
 // Calibration notes. The paper never publishes the fitted (P_idle, α)
@@ -159,6 +161,50 @@ func Capability(spec *TypeSpec) *TypeSpec {
 		c.ReduceSlots = 1
 	}
 	return &c
+}
+
+// internSpec registers spec in the cluster's type table and returns its
+// TypeID. Interning is by pointer: re-registering the same spec yields the
+// same TypeID, while a distinct spec that reuses an existing name is a
+// configuration error (names must identify types uniquely — ByType, probe
+// samples, and the per-type pheromone trails are all keyed by name).
+func (c *Cluster) internSpec(spec *TypeSpec) (TypeID, error) {
+	for i, s := range c.specs {
+		if s == spec {
+			return TypeID(i), nil
+		}
+		if s.Name == spec.Name {
+			return 0, fmt.Errorf("cluster: duplicate registration of type %q with a different spec", spec.Name)
+		}
+	}
+	if len(c.specs) > int(^TypeID(0)) {
+		return 0, fmt.Errorf("cluster: more than %d machine types", int(^TypeID(0))+1)
+	}
+	c.specs = append(c.specs, spec)
+	return TypeID(len(c.specs) - 1), nil
+}
+
+// NumTypes returns the number of distinct machine types in the fleet.
+func (c *Cluster) NumTypes() int { return len(c.specs) }
+
+// TypeSpecByID returns the interned spec for id, panicking on an id that
+// was never interned.
+func (c *Cluster) TypeSpecByID(id TypeID) *TypeSpec {
+	if int(id) >= len(c.specs) {
+		panic(fmt.Sprintf("cluster: no type %d in table of %d", id, len(c.specs)))
+	}
+	return c.specs[id]
+}
+
+// TypeIDOf looks up the interned id for a type name; ok is false when the
+// fleet has no machines of that type.
+func (c *Cluster) TypeIDOf(name string) (TypeID, bool) {
+	for i, s := range c.specs {
+		if s.Name == name {
+			return TypeID(i), true
+		}
+	}
+	return 0, false
 }
 
 // Testbed returns the paper's §V-B slave fleet: 8 Dell desktops, 3 T110,

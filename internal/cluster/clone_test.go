@@ -1,0 +1,104 @@
+package cluster
+
+import "testing"
+
+// TestCloneIsPristine pins the Clone contract the column-copy rewrite must
+// preserve: a clone shares specs and IDs with its parent but starts with
+// zeroed transient state, no matter how dirty the parent is.
+func TestCloneIsPristine(t *testing.T) {
+	parent := Testbed()
+
+	// Dirty every kind of transient state in the parent.
+	parent.Machine(0).AcquireMap(0.4)
+	parent.Machine(0).AcquireReduce(0.1)
+	parent.Machine(1).Sleep(7)
+	parent.Machine(2).Fail()
+
+	clone := parent.Clone()
+	if clone.Size() != parent.Size() {
+		t.Fatalf("clone size %d, want %d", clone.Size(), parent.Size())
+	}
+	for i := 0; i < clone.Size(); i++ {
+		cm, pm := clone.Machine(i), parent.Machine(i)
+		if cm.ID() != pm.ID() || cm.Spec() != pm.Spec() {
+			t.Fatalf("machine %d: clone identity diverges (id %d/%d, spec %p/%p)",
+				i, cm.ID(), pm.ID(), cm.Spec(), pm.Spec())
+		}
+		if cm.Running() != 0 || cm.Utilization() != 0 || cm.Asleep() || !cm.Available() {
+			t.Errorf("machine %d: clone inherited runtime state: running=%d util=%v asleep=%v avail=%v",
+				i, cm.Running(), cm.Utilization(), cm.Asleep(), cm.Available())
+		}
+		if cm.Power() != cm.Spec().IdleWatts {
+			t.Errorf("machine %d: clone power %v, want idle %v", i, cm.Power(), cm.Spec().IdleWatts)
+		}
+	}
+}
+
+// TestCloneMutationDoesNotLeak pins mutation isolation in both directions:
+// mutating the clone never shows through the parent's handles, and the
+// parent's pre-existing dirt stays its own.
+func TestCloneMutationDoesNotLeak(t *testing.T) {
+	parent := Testbed()
+	parent.Machine(3).AcquireMap(0.25)
+
+	clone := parent.Clone()
+	clone.Machine(0).AcquireMap(0.5)
+	clone.Machine(1).Sleep(5)
+	clone.Machine(2).Fail()
+	clone.Machine(3).AcquireMap(0.25)
+	clone.Machine(3).AcquireMap(0.25)
+
+	if got := parent.Machine(0).RunningMap(); got != 0 {
+		t.Errorf("clone AcquireMap leaked into parent: runningMap=%d", got)
+	}
+	if parent.Machine(0).Utilization() != 0 {
+		t.Errorf("clone utilization leaked into parent: %v", parent.Machine(0).Utilization())
+	}
+	if parent.Machine(1).Asleep() {
+		t.Error("clone Sleep leaked into parent")
+	}
+	if !parent.Machine(2).Available() {
+		t.Error("clone Fail leaked into parent")
+	}
+	if got := parent.Machine(3).RunningMap(); got != 1 {
+		t.Errorf("parent state perturbed by clone mutations: runningMap=%d, want 1", got)
+	}
+	if got := clone.Machine(3).RunningMap(); got != 2 {
+		t.Errorf("clone lost its own mutations: runningMap=%d, want 2", got)
+	}
+
+	// Releasing in the clone must not touch the parent either.
+	clone.Machine(3).ReleaseMap(0.25)
+	if got := parent.Machine(3).RunningMap(); got != 1 {
+		t.Errorf("clone ReleaseMap leaked into parent: runningMap=%d, want 1", got)
+	}
+
+	// Handles are bound to their cluster: the same ID compares unequal
+	// across parent and clone, equal within one.
+	if parent.Machine(0) == clone.Machine(0) {
+		t.Error("parent and clone handles for machine 0 compare equal")
+	}
+	if parent.Machine(0) != parent.Machines()[0] {
+		t.Error("handles for the same machine compare unequal")
+	}
+}
+
+// TestCloneOfDirtyParentThenReset cross-checks Clone against Reset: a
+// freshly cloned fleet and a reset fleet must be indistinguishable.
+func TestCloneOfDirtyParentThenReset(t *testing.T) {
+	c := Testbed()
+	c.Machine(0).AcquireMap(0.4)
+	c.Machine(1).Sleep(2)
+	c.Machine(2).Fail()
+
+	fresh := c.Clone()
+	c.Reset()
+	for i := 0; i < c.Size(); i++ {
+		rm, fm := c.Machine(i), fresh.Machine(i)
+		if rm.Running() != fm.Running() || rm.Utilization() != fm.Utilization() ||
+			rm.Asleep() != fm.Asleep() || rm.Available() != fm.Available() ||
+			rm.Power() != fm.Power() {
+			t.Errorf("machine %d: reset state differs from fresh clone", i)
+		}
+	}
+}

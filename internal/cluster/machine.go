@@ -6,11 +6,15 @@
 // The shipped catalog reproduces the paper's testbed: the Table I case-study
 // pair (Core i7 desktop, Xeon E5 PowerEdge) and the §V-B fleet (8 Dell
 // desktops, 3 T110, 2 T420, 1 T320, 1 T620, 1 Atom).
+//
+// World-state layout (DESIGN.md §17): per-machine mutable state lives in
+// dense struct-of-arrays columns on the Cluster, indexed by MachineID.
+// Machine is a two-word value handle (cluster pointer + index) — cheap to
+// copy, comparable with ==, and free of per-machine heap objects.
 package cluster
 
 import (
 	"fmt"
-	"sort"
 )
 
 // TypeSpec describes one hardware generation. SpeedFactor is the per-core
@@ -70,304 +74,185 @@ func (s *TypeSpec) Validate() error {
 	return nil
 }
 
-// Machine is one slave node. Slot occupancy is plain state mutated by the
-// single-threaded simulation loop; Machine is not safe for concurrent use.
+// MachineID indexes the cluster's per-machine state columns. IDs are dense:
+// a fleet of n machines uses exactly 0..n-1, assigned in construction order.
+type MachineID int32
+
+// TypeID indexes a cluster's interned TypeSpec table. A fleet has at most
+// 256 distinct hardware types — far beyond any real heterogeneous rack.
+type TypeID uint8
+
+// Per-machine status bits in the flags column.
+const (
+	// flagAsleep marks a consolidated (powered-down) machine; the
+	// sleepWatts column holds its standby draw.
+	flagAsleep uint8 = 1 << 0
+	// flagDead marks a crashed machine (fault injection): it holds no
+	// slots, draws no power, and is skipped by heartbeats until repaired.
+	flagDead uint8 = 1 << 1
+)
+
+// Machine is a handle to one slave node: a cluster pointer plus a dense
+// index into the cluster's state columns. It is a two-word value — pass it
+// by value, compare it with ==. The zero Machine is invalid (Valid reports
+// false); slot occupancy is plain state mutated by the single-threaded
+// simulation loop, so Machine is not safe for concurrent use.
 type Machine struct {
-	ID   int       //eant:reset-keep machine identity is fixed at construction
-	Spec *TypeSpec //eant:reset-keep hardware type is immutable configuration
-
-	runningMap    int
-	runningReduce int
-
-	// util is the current whole-machine CPU utilization contributed by
-	// running tasks (Σ per-task machine share), piecewise constant
-	// between task start/finish events.
-	util float64
-
-	// asleep marks a consolidated (powered-down) machine; sleepWatts is
-	// its standby draw. Set through Sleep/Wake by the power-management
-	// policy.
-	asleep     bool
-	sleepWatts float64
-
-	// dead marks a crashed machine (fault injection): it holds no slots,
-	// draws no power, and is skipped by heartbeats until repaired.
-	dead bool
+	c  *Cluster  //eant:reset-keep handle identity; per-machine state lives in the cluster columns
+	id MachineID //eant:reset-keep machine identity is fixed at construction
 }
 
-// NewMachine returns a machine of the given type.
-func NewMachine(id int, spec *TypeSpec) *Machine {
-	if spec == nil {
-		panic("cluster: NewMachine with nil spec")
-	}
-	return &Machine{ID: id, Spec: spec}
-}
+// Valid reports whether the handle refers to a machine (the zero Machine
+// does not).
+func (m Machine) Valid() bool { return m.c != nil }
+
+// ID returns the machine's dense identifier in [0, cluster.Size()).
+func (m Machine) ID() int { return int(m.id) }
+
+// Spec returns the machine's interned hardware type.
+func (m Machine) Spec() *TypeSpec { return m.c.specOf[m.id] }
+
+// Type returns the machine's interned type index.
+func (m Machine) Type() TypeID { return m.c.typeOf[m.id] }
 
 // String identifies the machine for logs: "T420#3".
-func (m *Machine) String() string { return fmt.Sprintf("%s#%d", m.Spec.Name, m.ID) }
+func (m Machine) String() string { return fmt.Sprintf("%s#%d", m.Spec().Name, m.id) }
 
 // FreeMapSlots returns the number of unoccupied map slots; a dead machine
 // has none.
-func (m *Machine) FreeMapSlots() int {
-	if m.dead {
+func (m Machine) FreeMapSlots() int {
+	if m.c.flags[m.id]&flagDead != 0 {
 		return 0
 	}
-	return m.Spec.MapSlots - m.runningMap
+	return int(m.c.mapSlots[m.id] - m.c.runningMap[m.id])
 }
 
 // FreeReduceSlots returns the number of unoccupied reduce slots; a dead
 // machine has none.
-func (m *Machine) FreeReduceSlots() int {
-	if m.dead {
+func (m Machine) FreeReduceSlots() int {
+	if m.c.flags[m.id]&flagDead != 0 {
 		return 0
 	}
-	return m.Spec.ReduceSlots - m.runningReduce
+	return int(m.c.reduceSlots[m.id] - m.c.runningReduce[m.id])
 }
 
 // RunningMap returns the number of occupied map slots.
-func (m *Machine) RunningMap() int { return m.runningMap }
+func (m Machine) RunningMap() int { return int(m.c.runningMap[m.id]) }
 
 // RunningReduce returns the number of occupied reduce slots.
-func (m *Machine) RunningReduce() int { return m.runningReduce }
+func (m Machine) RunningReduce() int { return int(m.c.runningReduce[m.id]) }
 
 // Running returns the total number of occupied slots.
-func (m *Machine) Running() int { return m.runningMap + m.runningReduce }
+func (m Machine) Running() int {
+	return int(m.c.runningMap[m.id]) + int(m.c.runningReduce[m.id])
+}
 
-// Utilization returns the current whole-machine CPU utilization in [0, 1].
-func (m *Machine) Utilization() float64 { return m.util }
+// Utilization returns the current whole-machine CPU utilization in [0, 1]:
+// the Σ per-task machine share contributed by running tasks, piecewise
+// constant between task start/finish events.
+func (m Machine) Utilization() float64 { return m.c.util[m.id] }
 
 // Power returns the current draw in watts: zero while dead, the standby
 // draw while asleep, the envelope P_idle + α·U otherwise.
-func (m *Machine) Power() float64 {
-	if m.dead {
+func (m Machine) Power() float64 {
+	f := m.c.flags[m.id]
+	if f&flagDead != 0 {
 		return 0
 	}
-	if m.asleep {
-		return m.sleepWatts
+	if f&flagAsleep != 0 {
+		return m.c.sleepWatts[m.id]
 	}
-	return m.Spec.PowerAt(m.util)
+	return m.Spec().PowerAt(m.c.util[m.id])
 }
 
 // Asleep reports whether the machine is powered down.
-func (m *Machine) Asleep() bool { return m.asleep }
+func (m Machine) Asleep() bool { return m.c.flags[m.id]&flagAsleep != 0 }
 
 // Available reports whether the machine can run tasks (not crashed).
-func (m *Machine) Available() bool { return !m.dead }
+func (m Machine) Available() bool { return m.c.flags[m.id]&flagDead == 0 }
 
 // Fail crashes the machine: it leaves the slot pool and draws no power
 // until Repair. The driver must kill (and release) every running attempt
 // first; failing a machine with occupied slots is a model bug and panics.
 // A sleeping machine may crash; the crash clears the sleep state (the
 // eventual repair is a reboot into the normal idle envelope).
-func (m *Machine) Fail() {
+func (m Machine) Fail() {
 	if m.Running() > 0 {
 		panic(fmt.Sprintf("cluster: %s crashed with %d running tasks", m, m.Running()))
 	}
-	m.dead = true
-	m.asleep = false
-	m.sleepWatts = 0
+	m.c.flags[m.id] = flagDead
+	m.c.sleepWatts[m.id] = 0
 }
 
 // Repair returns a crashed machine to service. Idempotent.
-func (m *Machine) Repair() { m.dead = false }
+func (m Machine) Repair() { m.c.flags[m.id] &^= flagDead }
 
 // Sleep powers the machine down to the given standby draw. Sleeping with
 // tasks running is a policy bug and panics.
-func (m *Machine) Sleep(standbyWatts float64) {
+func (m Machine) Sleep(standbyWatts float64) {
 	if m.Running() > 0 {
 		panic(fmt.Sprintf("cluster: %s put to sleep with %d running tasks", m, m.Running()))
 	}
 	if standbyWatts < 0 {
 		standbyWatts = 0
 	}
-	m.asleep = true
-	m.sleepWatts = standbyWatts
+	m.c.flags[m.id] |= flagAsleep
+	m.c.sleepWatts[m.id] = standbyWatts
 }
 
 // Wake powers the machine back up. Idempotent.
-func (m *Machine) Wake() { m.asleep = false }
+func (m Machine) Wake() { m.c.flags[m.id] &^= flagAsleep }
 
 // AcquireMap claims a map slot and adds the task's CPU share. It returns
 // false without side effects when no map slot is free.
-func (m *Machine) AcquireMap(cpuShare float64) bool {
-	if m.dead || m.runningMap >= m.Spec.MapSlots {
+func (m Machine) AcquireMap(cpuShare float64) bool {
+	if m.c.flags[m.id]&flagDead != 0 || m.c.runningMap[m.id] >= m.c.mapSlots[m.id] {
 		return false
 	}
-	m.runningMap++
+	m.c.runningMap[m.id]++
 	m.addUtil(cpuShare)
 	return true
 }
 
 // AcquireReduce claims a reduce slot and adds the task's CPU share. It
 // returns false without side effects when no reduce slot is free.
-func (m *Machine) AcquireReduce(cpuShare float64) bool {
-	if m.dead || m.runningReduce >= m.Spec.ReduceSlots {
+func (m Machine) AcquireReduce(cpuShare float64) bool {
+	if m.c.flags[m.id]&flagDead != 0 || m.c.runningReduce[m.id] >= m.c.reduceSlots[m.id] {
 		return false
 	}
-	m.runningReduce++
+	m.c.runningReduce[m.id]++
 	m.addUtil(cpuShare)
 	return true
 }
 
 // ReleaseMap frees a map slot and removes the task's CPU share. Releasing
 // an unheld slot is a model bug and panics.
-func (m *Machine) ReleaseMap(cpuShare float64) {
-	if m.runningMap <= 0 {
+func (m Machine) ReleaseMap(cpuShare float64) {
+	if m.c.runningMap[m.id] <= 0 {
 		panic(fmt.Sprintf("cluster: %s released map slot it does not hold", m))
 	}
-	m.runningMap--
+	m.c.runningMap[m.id]--
 	m.addUtil(-cpuShare)
 }
 
 // ReleaseReduce frees a reduce slot and removes the task's CPU share.
-func (m *Machine) ReleaseReduce(cpuShare float64) {
-	if m.runningReduce <= 0 {
+func (m Machine) ReleaseReduce(cpuShare float64) {
+	if m.c.runningReduce[m.id] <= 0 {
 		panic(fmt.Sprintf("cluster: %s released reduce slot it does not hold", m))
 	}
-	m.runningReduce--
+	m.c.runningReduce[m.id]--
 	m.addUtil(-cpuShare)
 }
 
-func (m *Machine) addUtil(d float64) {
-	m.util += d
+func (m Machine) addUtil(d float64) {
+	u := m.c.util[m.id] + d
 	// Clamp tiny float drift so long runs can't accumulate a negative
 	// utilization and produce negative power.
-	if m.util < 1e-12 {
-		m.util = 0
+	if u < 1e-12 {
+		u = 0
 	}
-	if m.util > 1 {
-		m.util = 1
+	if u > 1 {
+		u = 1
 	}
-}
-
-// Cluster is an ordered fleet of machines with a type index.
-type Cluster struct {
-	machines []*Machine
-	byType   map[string][]*Machine //eant:reset-keep index over the fixed fleet; Reset mutates the machines it points at
-}
-
-// New builds a cluster from counts of each spec, assigning stable IDs in
-// the order given. It returns an error if any spec is invalid.
-func New(groups ...Group) (*Cluster, error) {
-	c := &Cluster{byType: make(map[string][]*Machine)}
-	id := 0
-	for _, g := range groups {
-		if err := g.Spec.Validate(); err != nil {
-			return nil, err
-		}
-		if g.Count <= 0 {
-			return nil, fmt.Errorf("cluster: group %q has count %d", g.Spec.Name, g.Count)
-		}
-		for i := 0; i < g.Count; i++ {
-			m := NewMachine(id, g.Spec)
-			id++
-			c.machines = append(c.machines, m)
-			c.byType[g.Spec.Name] = append(c.byType[g.Spec.Name], m)
-		}
-	}
-	if len(c.machines) == 0 {
-		return nil, fmt.Errorf("cluster: no machines")
-	}
-	return c, nil
-}
-
-// MustNew is New for static configurations known to be valid.
-func MustNew(groups ...Group) *Cluster {
-	c, err := New(groups...)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
-// Group pairs a machine spec with a replica count.
-type Group struct {
-	Spec  *TypeSpec
-	Count int
-}
-
-// Clone returns an independent cluster with the same machine IDs and
-// specs and zeroed transient state (running tasks, sleep, crash flags).
-// A Cluster must not be shared by concurrent simulation runs — clone it
-// per run instead. TypeSpec pointers are shared: specs are immutable.
-func (c *Cluster) Clone() *Cluster {
-	out := &Cluster{byType: make(map[string][]*Machine, len(c.byType))}
-	for _, m := range c.machines {
-		nm := NewMachine(m.ID, m.Spec)
-		out.machines = append(out.machines, nm)
-		out.byType[m.Spec.Name] = append(out.byType[m.Spec.Name], nm)
-	}
-	return out
-}
-
-// Reset zeroes every machine's transient state (slot occupancy,
-// utilization, sleep, crash flags), returning the fleet to the condition a
-// fresh Clone starts in. Warm-run reuse calls it between runs instead of
-// re-cloning.
-func (c *Cluster) Reset() {
-	for _, m := range c.machines {
-		m.runningMap = 0
-		m.runningReduce = 0
-		m.util = 0
-		m.asleep = false
-		m.sleepWatts = 0
-		m.dead = false
-	}
-}
-
-// Machines returns the fleet in ID order. The slice is shared; callers must
-// not mutate it.
-func (c *Cluster) Machines() []*Machine { return c.machines }
-
-// Size returns the number of machines.
-func (c *Cluster) Size() int { return len(c.machines) }
-
-// Machine returns the machine with the given ID.
-func (c *Cluster) Machine(id int) *Machine {
-	if id < 0 || id >= len(c.machines) {
-		panic(fmt.Sprintf("cluster: no machine %d in fleet of %d", id, len(c.machines)))
-	}
-	return c.machines[id]
-}
-
-// ByType returns the machines of one hardware type (the paper's
-// "homogeneous sub-cluster" used by the machine-level exchange strategy).
-func (c *Cluster) ByType(name string) []*Machine { return c.byType[name] }
-
-// TypeNames returns the distinct machine type names, sorted.
-func (c *Cluster) TypeNames() []string {
-	names := make([]string, 0, len(c.byType))
-	for n := range c.byType {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// TotalSlots returns Σ m_slot over the fleet (S_pool in Eq. 7 for a
-// single-user system).
-func (c *Cluster) TotalSlots() int {
-	total := 0
-	for _, m := range c.machines {
-		total += m.Spec.Slots()
-	}
-	return total
-}
-
-// TotalMapSlots returns the fleet-wide map slot count.
-func (c *Cluster) TotalMapSlots() int {
-	total := 0
-	for _, m := range c.machines {
-		total += m.Spec.MapSlots
-	}
-	return total
-}
-
-// TotalReduceSlots returns the fleet-wide reduce slot count.
-func (c *Cluster) TotalReduceSlots() int {
-	total := 0
-	for _, m := range c.machines {
-		total += m.Spec.ReduceSlots
-	}
-	return total
+	m.c.util[m.id] = u
 }

@@ -69,8 +69,14 @@ func TestPowerEnvelopeHeterogeneity(t *testing.T) {
 	}
 }
 
+// oneMachine returns a handle to the single machine of a fresh one-node
+// cluster of the given type.
+func oneMachine(spec *TypeSpec) Machine {
+	return MustNew(Group{Spec: spec, Count: 1}).Machine(0)
+}
+
 func TestMachineSlotAccounting(t *testing.T) {
-	m := NewMachine(0, SpecDesktop) // 4 map + 2 reduce
+	m := oneMachine(SpecDesktop) // 4 map + 2 reduce
 	for i := 0; i < 4; i++ {
 		if !m.AcquireMap(0.1) {
 			t.Fatalf("AcquireMap #%d failed", i)
@@ -103,7 +109,7 @@ func TestMachineSlotAccounting(t *testing.T) {
 }
 
 func TestMachineFailedAcquireHasNoSideEffects(t *testing.T) {
-	m := NewMachine(0, SpecAtom) // 2 map + 1 reduce
+	m := oneMachine(SpecAtom) // 2 map + 1 reduce
 	m.AcquireMap(0.2)
 	m.AcquireMap(0.2)
 	before := m.Utilization()
@@ -121,11 +127,11 @@ func TestMachineReleaseUnheldPanics(t *testing.T) {
 			t.Error("releasing unheld slot did not panic")
 		}
 	}()
-	NewMachine(0, SpecAtom).ReleaseMap(0.1)
+	oneMachine(SpecAtom).ReleaseMap(0.1)
 }
 
 func TestMachineUtilizationNeverNegative(t *testing.T) {
-	m := NewMachine(0, SpecDesktop)
+	m := oneMachine(SpecDesktop)
 	// Acquire/release with slightly mismatched float math many times.
 	f := func(shares []float64) bool {
 		for _, s := range shares {
@@ -134,7 +140,7 @@ func TestMachineUtilizationNeverNegative(t *testing.T) {
 				m.ReleaseMap(s)
 			}
 		}
-		return m.Utilization() >= 0 && m.Power() >= m.Spec.IdleWatts
+		return m.Utilization() >= 0 && m.Power() >= m.Spec().IdleWatts
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -153,8 +159,8 @@ func TestClusterNew(t *testing.T) {
 		t.Fatalf("Size() = %d, want 3", c.Size())
 	}
 	for i, m := range c.Machines() {
-		if m.ID != i {
-			t.Errorf("machine %d has ID %d", i, m.ID)
+		if m.ID() != i {
+			t.Errorf("machine %d has ID %d", i, m.ID())
 		}
 	}
 	if got := len(c.ByType("Desktop")); got != 2 {
@@ -212,7 +218,7 @@ func TestClusterSlotTotals(t *testing.T) {
 
 func TestClusterMachineLookup(t *testing.T) {
 	c := Testbed()
-	if m := c.Machine(0); m.ID != 0 {
+	if m := c.Machine(0); m.ID() != 0 {
 		t.Error("Machine(0) returned wrong machine")
 	}
 	defer func() {

@@ -159,7 +159,7 @@ func (e *EAnt) ResetForRun(p Params) error {
 // older tick or availability epoch are already invalid (they rebuild on
 // next use) and are left alone. Reduce-slot changes are ignored — only the
 // map decline guard consumes a host index.
-func (e *EAnt) OnSlotFreeChange(ctx *mapreduce.Context, m *cluster.Machine, kind mapreduce.TaskKind, delta int) {
+func (e *EAnt) OnSlotFreeChange(ctx *mapreduce.Context, m cluster.Machine, kind mapreduce.TaskKind, delta int) {
 	if kind != mapreduce.MapTask || len(e.indexed) == 0 {
 		return
 	}
@@ -169,7 +169,7 @@ func (e *EAnt) OnSlotFreeChange(ctx *mapreduce.Context, m *cluster.Machine, kind
 		if idx.tick != e.tickSeq || idx.epoch != epoch {
 			continue
 		}
-		if r := idx.rankOf[m.ID]; r >= 0 {
+		if r := idx.rankOf[m.ID()]; r >= 0 {
 			idx.freeBuckets[r>>6] += delta
 		}
 	}
@@ -210,7 +210,7 @@ func (e *EAnt) initSlow(ctx *mapreduce.Context) {
 	for _, name := range ctx.Cluster.TypeNames() {
 		var ids []int
 		for _, m := range ctx.Cluster.ByType(name) {
-			ids = append(ids, m.ID)
+			ids = append(ids, m.ID())
 		}
 		e.typeGroups = append(e.typeGroups, ids)
 	}
@@ -262,8 +262,8 @@ func (e *EAnt) eta(ctx *mapreduce.Context, j *mapreduce.Job) float64 {
 // heuristic information overrides the energy trails.
 // The colony is pre-resolved by selectColony: one candidate-order map
 // lookup per offer instead of one per weight/accept evaluation.
-func (e *EAnt) weight(ctx *mapreduce.Context, j *mapreduce.Job, c *colony, kind mapreduce.TaskKind, m *cluster.Machine) float64 {
-	tau := c.row[m.ID]
+func (e *EAnt) weight(ctx *mapreduce.Context, j *mapreduce.Job, c *colony, kind mapreduce.TaskKind, m cluster.Machine) float64 {
+	tau := c.row[m.ID()]
 	if e.p.Beta <= 0 {
 		return tau
 	}
@@ -319,7 +319,7 @@ const betterHostFactor = 1.2
 // which is exactly where the paper's adaptive steering pays off
 // (Fig. 1a); under saturation E-Ant stays work-conserving and colony
 // *selection* does the affinity matching (Figs. 8b, 9).
-func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, c *colony, kind mapreduce.TaskKind, m *cluster.Machine) bool {
+func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, c *colony, kind mapreduce.TaskKind, m cluster.Machine) bool {
 	// Under server consolidation a sleeping machine costs a wake (resume
 	// latency plus a return to full idle draw); decline unless the awake
 	// fleet genuinely cannot absorb the pending work. Pending work is
@@ -343,7 +343,7 @@ func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, c *colony, kind
 		return true
 	}
 
-	tau := c.row[m.ID]
+	tau := c.row[m.ID()]
 	if tau >= 1 {
 		return true
 	}
@@ -369,12 +369,12 @@ func (e *EAnt) accepts(ctx *mapreduce.Context, j *mapreduce.Job, c *colony, kind
 // sum, and the free-slot existence test a walk over 64-rank counters.
 // m itself never qualifies (threshold > its own trail, trails are > 0),
 // matching the old scan's explicit self-exclusion.
-func (e *EAnt) betterHostsAbsorb(ctx *mapreduce.Context, c *colony, m *cluster.Machine) bool {
+func (e *EAnt) betterHostsAbsorb(ctx *mapreduce.Context, c *colony, m cluster.Machine) bool {
 	idx := c.idx
 	if idx == nil || idx.tick != e.tickSeq || idx.epoch != ctx.AvailabilityEpoch() {
 		idx = e.buildIndex(ctx, c)
 	}
-	r := idx.countAtLeast(c.row[m.ID] * betterHostFactor)
+	r := idx.countAtLeast(c.row[m.ID()] * betterHostFactor)
 	if ctx.PendingTasks(mapreduce.MapTask) > idx.prefixSlots[r] {
 		return false
 	}
@@ -421,7 +421,7 @@ func (e *EAnt) buildIndex(ctx *mapreduce.Context, c *colony) *hostIndex {
 	ids := idx.ids[:0]
 	for _, m := range machines {
 		if m.Available() {
-			ids = append(ids, m.ID)
+			ids = append(ids, m.ID())
 		}
 	}
 	row := c.row
@@ -444,7 +444,7 @@ func (e *EAnt) buildIndex(ctx *mapreduce.Context, c *colony) *hostIndex {
 		m := machines[id]
 		idx.vals = append(idx.vals, row[id])
 		idx.rankOf[id] = rank
-		slots += m.Spec.MapSlots
+		slots += m.Spec().MapSlots
 		idx.prefixSlots = append(idx.prefixSlots, slots)
 		idx.freeBuckets[rank>>6] += m.FreeMapSlots()
 	}
@@ -466,7 +466,7 @@ func (e *EAnt) buildIndex(ctx *mapreduce.Context, c *colony) *hostIndex {
 // reduce tasks, and declining one serializes the job tail on the favored
 // machines — the energy cost of the stretched makespan always exceeds
 // the dynamic-energy saving of the better host.
-func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidates []*mapreduce.Job, kind mapreduce.TaskKind) *mapreduce.Job {
+func (e *EAnt) selectColony(ctx *mapreduce.Context, m cluster.Machine, candidates []*mapreduce.Job, kind mapreduce.TaskKind) *mapreduce.Job {
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -505,7 +505,7 @@ func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidat
 		// plain row read on the pre-resolved colony, and no randomness is
 		// drawn, so instrumented runs replay bit-identically.
 		if pr := ctx.Probe(); pr != nil {
-			pr.Draw(ctx.Now(), m.ID, j.Spec.ID, int8(kind), cols[i].row[m.ID], weights[i], ok)
+			pr.Draw(ctx.Now(), m.ID(), j.Spec.ID, int8(kind), cols[i].row[m.ID()], weights[i], ok)
 		}
 		if ok {
 			return j
@@ -518,7 +518,7 @@ func (e *EAnt) selectColony(ctx *mapreduce.Context, m *cluster.Machine, candidat
 }
 
 // AssignMap implements mapreduce.Scheduler.
-func (e *EAnt) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (e *EAnt) AssignMap(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	e.init(ctx)
 	// With no pending map anywhere the candidate list below is empty and
 	// selectColony returns nil without drawing randomness; skip the
@@ -546,7 +546,7 @@ func (e *EAnt) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.
 const slowReduceFactor = 2.0
 
 // AssignReduce implements mapreduce.Scheduler.
-func (e *EAnt) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (e *EAnt) AssignReduce(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	e.init(ctx)
 	// Ready-reduce count is maintained incrementally by the driver; zero
 	// means ReduceReady holds for no job, so the scan would yield nothing.
@@ -577,8 +577,8 @@ func (e *EAnt) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapredu
 // tail for longer than the whole map phase (the §I Atom anecdote: a third
 // of the energy, three times the wall clock — a loss once the rest of the
 // fleet sits burning idle power waiting for it).
-func (e *EAnt) reduceWouldStraggle(ctx *mapreduce.Context, j *mapreduce.Job, m *cluster.Machine) bool {
-	own := ctx.EstimateReduceSeconds(j, m.Spec)
+func (e *EAnt) reduceWouldStraggle(ctx *mapreduce.Context, j *mapreduce.Job, m cluster.Machine) bool {
+	own := ctx.EstimateReduceSeconds(j, m.Spec())
 	if own <= 0 {
 		return false
 	}
@@ -613,7 +613,7 @@ func (e *EAnt) reduceWouldStraggle(ctx *mapreduce.Context, j *mapreduce.Job, m *
 // report becomes pheromone feedback.
 func (e *EAnt) OnTaskComplete(ctx *mapreduce.Context, t *mapreduce.Task) {
 	e.init(ctx)
-	e.mx.Feedback(key(t.Job, t.Kind), t.Machine.ID, t.EstJoules)
+	e.mx.Feedback(key(t.Job, t.Kind), t.Machine.ID(), t.EstJoules)
 }
 
 // OnControlTick implements mapreduce.Scheduler: retire finished colonies
@@ -647,7 +647,7 @@ func (e *EAnt) OnControlTick(ctx *mapreduce.Context) {
 	}
 	for _, m := range ctx.Cluster.Machines() {
 		if !m.Available() {
-			e.unavailable[m.ID] = true
+			e.unavailable[m.ID()] = true
 			anyDown = true
 		}
 	}

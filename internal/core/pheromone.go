@@ -70,6 +70,22 @@ type Matrix struct {
 	// state. Acquisition re-initializes every reused field, so a pooled
 	// colony is observationally identical to a fresh one.
 	pool []*colony
+
+	// exchScratch is the job-level exchange fold's reusable accumulator:
+	// one entry per (app, kind) group, rebuilt from length zero every
+	// update tick. Group cardinality is tiny (apps × two task kinds), so
+	// entries are found by linear scan — no per-tick map, no per-tick
+	// group-sum slices once the scratch has warmed.
+	exchScratch []exchGroup //eant:reset-keep pure scratch: rebuilt from length zero and re-zeroed at every update tick
+}
+
+// exchGroup accumulates one (app, kind) group's deposit sums during the
+// job-level exchange stage of an update tick.
+type exchGroup struct {
+	app   workload.App
+	kind  mapreduce.TaskKind
+	sum   []float64
+	count int
 }
 
 // NewMatrix returns an empty pheromone matrix over the given machine count.
@@ -376,12 +392,11 @@ func (mx *Matrix) UpdateWithAvailability(typeGroups [][]int, unavailable []bool)
 	}
 
 	// Stage 3: job-level exchange. Group sums accumulate in table
-	// (insertion) order, so the float folds are deterministic.
+	// (insertion) order, so the float folds are deterministic. Scratch
+	// entries (and their sum slices) are reused across ticks: the group
+	// cardinality is apps × kinds, so the linear scans stay cheap and the
+	// steady state allocates nothing.
 	if mx.p.JobExchange {
-		type groupKey struct {
-			app  workload.App
-			kind mapreduce.TaskKind
-		}
 		withDelta := 0
 		for _, c := range mx.cols {
 			if c.hasDelta {
@@ -389,29 +404,59 @@ func (mx *Matrix) UpdateWithAvailability(typeGroups [][]int, unavailable []bool)
 			}
 		}
 		if withDelta > 1 {
-			sums := make(map[groupKey][]float64)
-			counts := make(map[groupKey]int)
+			groups := mx.exchScratch[:0]
 			for _, c := range mx.cols {
 				if !c.hasDelta {
 					continue
 				}
-				g := groupKey{app: c.key.App, kind: c.key.Kind}
-				if sums[g] == nil {
-					sums[g] = make([]float64, mx.machines)
+				gi := -1
+				for i := range groups {
+					if groups[i].app == c.key.App && groups[i].kind == c.key.Kind {
+						gi = i
+						break
+					}
 				}
+				if gi == -1 {
+					if len(groups) < cap(groups) {
+						groups = groups[:len(groups)+1]
+					} else {
+						groups = append(groups, exchGroup{}) //eant:alloc-ok scratch grows to the (app, kind) cardinality once; reused every tick after
+					}
+					gi = len(groups) - 1
+					g := &groups[gi]
+					g.app, g.kind, g.count = c.key.App, c.key.Kind, 0
+					if len(g.sum) != mx.machines {
+						g.sum = nil
+					}
+					if g.sum == nil {
+						g.sum = make([]float64, mx.machines) //eant:alloc-ok first touch of a scratch group only; warm ticks reuse the slice
+					} else {
+						for i := range g.sum {
+							g.sum[i] = 0
+						}
+					}
+				}
+				g := &groups[gi]
 				for i, v := range c.delta {
-					sums[g][i] += v
+					g.sum[i] += v
 				}
-				counts[g]++
+				g.count++
 			}
+			mx.exchScratch = groups
 			for _, c := range mx.cols {
 				if !c.hasDelta {
 					continue
 				}
-				g := groupKey{app: c.key.App, kind: c.key.Kind}
-				n := float64(counts[g])
+				var g *exchGroup
+				for i := range groups {
+					if groups[i].app == c.key.App && groups[i].kind == c.key.Kind {
+						g = &groups[i]
+						break
+					}
+				}
+				n := float64(g.count)
 				for i := range c.delta {
-					c.delta[i] = sums[g][i] / n
+					c.delta[i] = g.sum[i] / n
 				}
 			}
 		}

@@ -96,7 +96,7 @@ func (d *Driver) initAggregates() {
 	names := c.TypeNames()
 	d.typeReps = make([]*cluster.TypeSpec, len(names))
 	for i, name := range names {
-		d.typeReps[i] = c.ByType(name)[0].Spec
+		d.typeReps[i] = c.ByType(name)[0].Spec()
 	}
 
 	// One backing array for the per-machine and per-type int aggregates:
@@ -110,31 +110,31 @@ func (d *Driver) initAggregates() {
 
 	awake := &a.byClass[classAwake]
 	for _, m := range c.Machines() {
-		spec := m.Spec
+		spec := m.Spec()
 		for i, rep := range d.typeReps {
 			if rep.Name == spec.Name {
-				a.typeIdx[m.ID] = i
+				a.typeIdx[m.ID()] = i
 				break
 			}
 		}
-		a.freeMap[m.ID] = spec.MapSlots
-		a.freeReduce[m.ID] = spec.ReduceSlots
+		a.freeMap[m.ID()] = spec.MapSlots
+		a.freeReduce[m.ID()] = spec.ReduceSlots
 		awake.mapSlots += spec.MapSlots
 		awake.reduceSlots += spec.ReduceSlots
 		awake.freeMap += spec.MapSlots
 		awake.freeReduce += spec.ReduceSlots
-		a.freeReduceByType[a.typeIdx[m.ID]] += spec.ReduceSlots
+		a.freeReduceByType[a.typeIdx[m.ID()]] += spec.ReduceSlots
 	}
 }
 
 // classOf derives a machine's availability class from its live state.
-func (d *Driver) classOf(m *cluster.Machine) machineClass {
+func (d *Driver) classOf(m cluster.Machine) machineClass {
 	switch {
 	case !m.Available():
 		return classDead
 	case m.Asleep():
 		return classAsleep
-	case d.blacklisted(m.ID):
+	case d.blacklisted(m.ID()):
 		return classBlacklisted
 	default:
 		return classAwake
@@ -147,55 +147,55 @@ func (d *Driver) classOf(m *cluster.Machine) machineClass {
 // machine's accounted free slots (a crashed machine holds none — the
 // driver detaches every running attempt before Machine.Fail, so at that
 // point free == capacity); leaving it restores them to full capacity.
-func (d *Driver) reclassify(m *cluster.Machine) {
+func (d *Driver) reclassify(m cluster.Machine) {
 	a := &d.agg
-	old := a.class[m.ID]
+	old := a.class[m.ID()]
 	now := d.classOf(m)
 	if now == old {
 		return
 	}
-	spec := m.Spec
+	spec := m.Spec()
 	from := &a.byClass[old]
 	from.mapSlots -= spec.MapSlots
 	from.reduceSlots -= spec.ReduceSlots
-	from.freeMap -= a.freeMap[m.ID]
-	from.freeReduce -= a.freeReduce[m.ID]
+	from.freeMap -= a.freeMap[m.ID()]
+	from.freeReduce -= a.freeReduce[m.ID()]
 	if now == classDead {
-		a.freeReduceByType[a.typeIdx[m.ID]] -= a.freeReduce[m.ID]
-		a.freeMap[m.ID] = 0
-		a.freeReduce[m.ID] = 0
+		a.freeReduceByType[a.typeIdx[m.ID()]] -= a.freeReduce[m.ID()]
+		a.freeMap[m.ID()] = 0
+		a.freeReduce[m.ID()] = 0
 	} else if old == classDead {
-		a.freeMap[m.ID] = spec.MapSlots
-		a.freeReduce[m.ID] = spec.ReduceSlots
-		a.freeReduceByType[a.typeIdx[m.ID]] += spec.ReduceSlots
+		a.freeMap[m.ID()] = spec.MapSlots
+		a.freeReduce[m.ID()] = spec.ReduceSlots
+		a.freeReduceByType[a.typeIdx[m.ID()]] += spec.ReduceSlots
 	}
 	to := &a.byClass[now]
 	to.mapSlots += spec.MapSlots
 	to.reduceSlots += spec.ReduceSlots
-	to.freeMap += a.freeMap[m.ID]
-	to.freeReduce += a.freeReduce[m.ID]
-	a.class[m.ID] = now
+	to.freeMap += a.freeMap[m.ID()]
+	to.freeReduce += a.freeReduce[m.ID()]
+	a.class[m.ID()] = now
 }
 
 // noteAvailabilityChange records a crash/recover: reclassifies the
 // machine and bumps the epoch that invalidates scheduler-side indices.
-func (d *Driver) noteAvailabilityChange(m *cluster.Machine) {
+func (d *Driver) noteAvailabilityChange(m cluster.Machine) {
 	d.reclassify(m)
 	d.agg.epoch++
 }
 
 // noteSlotChange records a ±1 change in m's free slots of one kind and
 // forwards it to the scheduler's slot observer, if any.
-func (d *Driver) noteSlotChange(m *cluster.Machine, kind TaskKind, delta int) {
+func (d *Driver) noteSlotChange(m cluster.Machine, kind TaskKind, delta int) {
 	a := &d.agg
-	cl := &a.byClass[a.class[m.ID]]
+	cl := &a.byClass[a.class[m.ID()]]
 	if kind == MapTask {
-		a.freeMap[m.ID] += delta
+		a.freeMap[m.ID()] += delta
 		cl.freeMap += delta
 	} else {
-		a.freeReduce[m.ID] += delta
+		a.freeReduce[m.ID()] += delta
 		cl.freeReduce += delta
-		a.freeReduceByType[a.typeIdx[m.ID]] += delta
+		a.freeReduceByType[a.typeIdx[m.ID()]] += delta
 	}
 	if d.slotObs != nil {
 		d.slotObs.OnSlotFreeChange(d.ctx, m, kind, delta)
@@ -303,24 +303,24 @@ func (d *Driver) checkAggregates() error {
 	freeByType := make([]int, len(a.freeReduceByType))
 	for _, m := range d.cluster.Machines() {
 		want := d.classOf(m)
-		got := a.class[m.ID]
+		got := a.class[m.ID()]
 		// A blacklist expiry has no event; the class may lag until the
 		// next heartbeat reconciles it. Only that one direction may lag.
 		if got != want && !(got == classBlacklisted && want == classAwake) {
 			return fmt.Errorf("%s class %d, derived %d", m, got, want)
 		}
-		if a.freeMap[m.ID] != m.FreeMapSlots() {
-			return fmt.Errorf("%s accounted free map slots %d, actual %d", m, a.freeMap[m.ID], m.FreeMapSlots())
+		if a.freeMap[m.ID()] != m.FreeMapSlots() {
+			return fmt.Errorf("%s accounted free map slots %d, actual %d", m, a.freeMap[m.ID()], m.FreeMapSlots())
 		}
-		if a.freeReduce[m.ID] != m.FreeReduceSlots() {
-			return fmt.Errorf("%s accounted free reduce slots %d, actual %d", m, a.freeReduce[m.ID], m.FreeReduceSlots())
+		if a.freeReduce[m.ID()] != m.FreeReduceSlots() {
+			return fmt.Errorf("%s accounted free reduce slots %d, actual %d", m, a.freeReduce[m.ID()], m.FreeReduceSlots())
 		}
 		cl := &byClass[got]
-		cl.mapSlots += m.Spec.MapSlots
-		cl.reduceSlots += m.Spec.ReduceSlots
-		cl.freeMap += a.freeMap[m.ID]
-		cl.freeReduce += a.freeReduce[m.ID]
-		freeByType[a.typeIdx[m.ID]] += m.FreeReduceSlots()
+		cl.mapSlots += m.Spec().MapSlots
+		cl.reduceSlots += m.Spec().ReduceSlots
+		cl.freeMap += a.freeMap[m.ID()]
+		cl.freeReduce += a.freeReduce[m.ID()]
+		freeByType[a.typeIdx[m.ID()]] += m.FreeReduceSlots()
 	}
 	for c := machineClass(0); c < numClasses; c++ {
 		if byClass[c] != a.byClass[c] {

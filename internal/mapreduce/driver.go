@@ -288,7 +288,7 @@ func NewDriver(c *cluster.Cluster, sched Scheduler, cfg Config) (*Driver, error)
 	}
 	for _, typeName := range cfg.ComputeOnlyTypes {
 		for _, m := range c.ByType(typeName) {
-			d.ns.ExcludeFromPlacement(m.ID)
+			d.ns.ExcludeFromPlacement(m.ID())
 		}
 	}
 	if cfg.Power.Enabled {
@@ -302,8 +302,8 @@ func NewDriver(c *cluster.Cluster, sched Scheduler, cfg Config) (*Driver, error)
 				n = len(machines)
 			}
 			for i := 0; i < n; i++ {
-				d.covering[machines[i].ID] = true
-				coveringIDs = append(coveringIDs, machines[i].ID)
+				d.covering[machines[i].ID()] = true
+				coveringIDs = append(coveringIDs, machines[i].ID())
 			}
 		}
 		d.ns.PreferFirstReplicaOn(coveringIDs)
@@ -458,7 +458,7 @@ func (d *Driver) serveHeartbeats() {
 // sweep offers every free slot of the given machines to the scheduler, in
 // slice order. Per-tick invariants (power management off, no blacklist,
 // probes disabled) are hoisted out of the per-machine body.
-func (d *Driver) sweep(machines []*cluster.Machine) {
+func (d *Driver) sweep(machines []cluster.Machine) {
 	powerOn := d.cfg.Power.Enabled
 	blacklistOn := d.blacklistUntil != nil
 	probe := d.probe
@@ -469,20 +469,20 @@ func (d *Driver) sweep(machines []*cluster.Machine) {
 		if blacklistOn {
 			// Blacklist expiry is a time-based transition with no event
 			// attached; reconcile the availability class at the heartbeat.
-			if d.agg.class[m.ID] == classBlacklisted && !d.blacklisted(m.ID) {
+			if d.agg.class[m.ID()] == classBlacklisted && !d.blacklisted(m.ID()) {
 				d.reclassify(m)
 			}
 		}
 		if powerOn {
 			d.maybeSleep(m)
 		}
-		if blacklistOn && d.blacklisted(m.ID) {
+		if blacklistOn && d.blacklisted(m.ID()) {
 			continue
 		}
 		for m.FreeMapSlots() > 0 {
 			d.stats.MapOffers++
 			if probe != nil {
-				probe.Offer(d.engine.Now(), m.ID, int8(MapTask), d.agg.pendingMaps)
+				probe.Offer(d.engine.Now(), m.ID(), int8(MapTask), d.agg.pendingMaps)
 			}
 			t := d.sched.AssignMap(d.ctx, m)
 			if t == nil {
@@ -493,7 +493,7 @@ func (d *Driver) sweep(machines []*cluster.Machine) {
 		for m.FreeReduceSlots() > 0 {
 			d.stats.ReduceOffers++
 			if probe != nil {
-				probe.Offer(d.engine.Now(), m.ID, int8(ReduceTask), d.agg.readyPendingReduces)
+				probe.Offer(d.engine.Now(), m.ID(), int8(ReduceTask), d.agg.readyPendingReduces)
 			}
 			t := d.sched.AssignReduce(d.ctx, m)
 			if t == nil {
@@ -512,25 +512,25 @@ func (d *Driver) sweep(machines []*cluster.Machine) {
 func (d *Driver) sampleMachines() {
 	now := d.engine.Now()
 	for _, m := range d.cluster.Machines() {
-		d.probe.Sample(now, m.ID, m.Spec.Name, m.Utilization(),
-			d.meter.MachineJoules(m.ID), m.FreeMapSlots(), m.FreeReduceSlots())
+		d.probe.Sample(now, m.ID(), m.Spec().Name, m.Utilization(),
+			d.meter.MachineJoules(m.ID()), m.FreeMapSlots(), m.FreeReduceSlots())
 	}
 }
 
 // maybeSleep powers m down when consolidation is on, it has been fully
 // idle past the timeout, and it is not a covering machine.
-func (d *Driver) maybeSleep(m *cluster.Machine) {
-	if !d.cfg.Power.Enabled || m.Asleep() || m.Running() > 0 || d.covering[m.ID] {
+func (d *Driver) maybeSleep(m cluster.Machine) {
+	if !d.cfg.Power.Enabled || m.Asleep() || m.Running() > 0 || d.covering[m.ID()] {
 		return
 	}
-	if d.engine.Now()-d.lastBusy[m.ID] < d.cfg.Power.IdleTimeout {
+	if d.engine.Now()-d.lastBusy[m.ID()] < d.cfg.Power.IdleTimeout {
 		return
 	}
 	d.meter.Sync(m, d.engine.Now())
 	m.Sleep(d.cfg.Power.SleepWatts)
 	d.stats.Sleeps++
 	if d.probe != nil {
-		d.probe.MachineState(d.engine.Now(), m.ID, "sleep")
+		d.probe.MachineState(d.engine.Now(), m.ID(), "sleep")
 	}
 	d.reclassify(m)
 	d.mutated("sleep")
@@ -538,7 +538,7 @@ func (d *Driver) maybeSleep(m *cluster.Machine) {
 
 // wakeIfNeeded powers m up for an incoming task, returning the wake
 // latency to prepend to the task's service time.
-func (d *Driver) wakeIfNeeded(m *cluster.Machine) float64 {
+func (d *Driver) wakeIfNeeded(m cluster.Machine) float64 {
 	if !m.Asleep() {
 		return 0
 	}
@@ -546,7 +546,7 @@ func (d *Driver) wakeIfNeeded(m *cluster.Machine) float64 {
 	m.Wake()
 	d.stats.Wakes++
 	if d.probe != nil {
-		d.probe.MachineState(d.engine.Now(), m.ID, "wake")
+		d.probe.MachineState(d.engine.Now(), m.ID(), "wake")
 	}
 	d.reclassify(m)
 	d.mutated("wake")
@@ -573,11 +573,11 @@ func (d *Driver) controlTick() {
 
 // isLocal resolves a map task's data locality, honoring the forced
 // fraction when configured.
-func (d *Driver) isLocal(t *Task, m *cluster.Machine) bool {
+func (d *Driver) isLocal(t *Task, m cluster.Machine) bool {
 	if f := d.cfg.ForcedLocalFraction; f >= 0 {
 		return d.local.Bernoulli(f)
 	}
-	return d.ns.IsLocal(t.Job.Spec.ID, t.Index, m.ID)
+	return d.ns.IsLocal(t.Job.Spec.ID, t.Index, m.ID())
 }
 
 // TaskThreads is how many cores a Hadoop task's JVM occupies while its
@@ -625,11 +625,11 @@ func taskUtil(cpuWallSecs, durSecs float64, spec *cluster.TypeSpec) float64 {
 }
 
 // startMap computes the task's service time on m and schedules completion.
-func (d *Driver) startMap(t *Task, m *cluster.Machine) {
+func (d *Driver) startMap(t *Task, m cluster.Machine) {
 	if t.State != TaskPending {
 		panic(fmt.Sprintf("mapreduce: starting %s in state %d", t.ID(), t.State))
 	}
-	spec := m.Spec
+	spec := m.Spec()
 	prof := workload.ProfileOf(t.Job.Spec.App)
 	t.Local = d.isLocal(t, m)
 
@@ -655,7 +655,7 @@ func (d *Driver) startMap(t *Task, m *cluster.Machine) {
 		d.stats.LocalMaps++
 	}
 	if d.probe != nil {
-		d.probe.Assign(now, t.Job.Spec.ID, t.Index, m.ID, int8(MapTask),
+		d.probe.Assign(now, t.Job.Spec.ID, t.Index, m.ID(), int8(MapTask),
 			t.Job.Spec.App.String(), t.Local, dur, (now - t.Job.Submitted).Seconds())
 	}
 	d.mutated("startMap")
@@ -669,11 +669,11 @@ func (d *Driver) startMap(t *Task, m *cluster.Machine) {
 
 // startReduce begins a reduce's shuffle phase; the compute phase is
 // finalized once the job's map barrier has passed.
-func (d *Driver) startReduce(t *Task, m *cluster.Machine) {
+func (d *Driver) startReduce(t *Task, m cluster.Machine) {
 	if t.State != TaskPending {
 		panic(fmt.Sprintf("mapreduce: starting %s in state %d", t.ID(), t.State))
 	}
-	spec := m.Spec
+	spec := m.Spec()
 	prof := workload.ProfileOf(t.Job.Spec.App)
 	wake := d.wakeIfNeeded(m)
 	shuffleSecs, cpuWall, computeSecs := reduceService(prof, t.InputMB, spec, d.cfg.NetShareDivisor)
@@ -704,7 +704,7 @@ func (d *Driver) startReduce(t *Task, m *cluster.Machine) {
 	t.doomed = d.faults.AttemptFails()
 
 	if d.probe != nil {
-		d.probe.Assign(now, t.Job.Spec.ID, t.Index, m.ID, int8(ReduceTask),
+		d.probe.Assign(now, t.Job.Spec.ID, t.Index, m.ID(), int8(ReduceTask),
 			t.Job.Spec.App.String(), false, t.shuffleSecs+t.computeSecs, (now - t.Job.Submitted).Seconds())
 	}
 	if t.Job.MapsDone() {
@@ -763,19 +763,19 @@ func (d *Driver) completeTask(t *Task) {
 	t.State = TaskDone
 	t.Finish = now
 	if d.lastBusy != nil {
-		d.lastBusy[m.ID] = now
+		d.lastBusy[m.ID()] = now
 	}
 
 	t.EstJoules = d.estimateJoules(t)
 	t.TrueJoules = d.trueJoules(t)
 	if d.probe != nil {
-		d.probe.Complete(now, t.Job.Spec.ID, t.Index, m.ID, int8(t.Kind),
+		d.probe.Complete(now, t.Job.Spec.ID, t.Index, m.ID(), int8(t.Kind),
 			t.EstJoules, t.TrueJoules, t.Duration().Seconds())
 	}
 
 	j := t.Job
 	j.running--
-	j.runningByMachine[m.ID]--
+	j.runningByMachine[m.ID()]--
 	delete(j.runningSet, t)
 
 	// Resolve a speculation race: the first attempt to finish wins, the
@@ -859,7 +859,7 @@ func (d *Driver) detachRunning(t *Task) bool {
 	d.noteSlotChange(m, t.Kind, 1)
 	j := t.Job
 	j.running--
-	j.runningByMachine[m.ID]--
+	j.runningByMachine[m.ID()]--
 	delete(j.runningSet, t)
 	return true
 }
@@ -897,7 +897,7 @@ func (d *Driver) completeJob(j *Job) {
 // estimateJoules evaluates Eq. 2 with heartbeat quantization and
 // measurement noise — the value a real TaskTracker would report.
 func (d *Driver) estimateJoules(t *Task) float64 {
-	spec := t.Machine.Spec
+	spec := t.Machine.Spec()
 	dt := d.cfg.Heartbeat
 	// A real TaskTracker samples at heartbeats: a task alive for k
 	// intervals reports k samples, so the reconstructed duration is the
@@ -927,7 +927,7 @@ func (d *Driver) estimateJoules(t *Task) float64 {
 // trueJoules is the noise-free marginal energy of the task: its idle-power
 // share plus its dynamic draw over its actual phases.
 func (d *Driver) trueJoules(t *Task) float64 {
-	spec := t.Machine.Spec
+	spec := t.Machine.Spec()
 	idleShare := spec.IdleWatts / float64(spec.Slots())
 	joules := (idleShare + spec.AlphaWatts*t.trueUtil) * t.computeSecs
 	if t.Kind == ReduceTask {
@@ -942,17 +942,17 @@ func (d *Driver) trueJoules(t *Task) float64 {
 	return joules
 }
 
-func (d *Driver) noteStart(t *Task, m *cluster.Machine) {
+func (d *Driver) noteStart(t *Task, m cluster.Machine) {
 	j := t.Job
 	if !j.started {
 		j.started = true
 		j.FirstStart = d.engine.Now()
 	}
 	j.running++
-	j.runningByMachine[m.ID]++
+	j.runningByMachine[m.ID()]++
 	j.runningSet[t] = struct{}{}
 	if d.lastBusy != nil {
-		d.lastBusy[m.ID] = d.engine.Now()
+		d.lastBusy[m.ID()] = d.engine.Now()
 	}
 	if d.cfg.KeepAssignmentHistory {
 		byMachine := d.intervalAssign[j.Spec.ID]
@@ -960,18 +960,18 @@ func (d *Driver) noteStart(t *Task, m *cluster.Machine) {
 			byMachine = make(map[int]int) //eant:alloc-ok KeepAssignmentHistory opt-in, once per (job, interval)
 			d.intervalAssign[j.Spec.ID] = byMachine
 		}
-		byMachine[m.ID]++
+		byMachine[m.ID()]++
 	}
 }
 
 func (d *Driver) recordTask(t *Task) {
 	key := AppKindKey{
-		MachineType: t.Machine.Spec.Name,
+		MachineType: t.Machine.Spec().Name,
 		App:         t.Job.Spec.App,
 		Kind:        t.Kind,
 	}
 	d.stats.Completed[key]++
-	d.stats.CompletedByMachine[t.Machine.ID]++
+	d.stats.CompletedByMachine[t.Machine.ID()]++
 	pair := d.stats.Energy[key]
 	pair.EstJoules += t.EstJoules
 	pair.TrueJoules += t.TrueJoules
@@ -984,8 +984,8 @@ func (d *Driver) recordTask(t *Task) {
 			App:         t.Job.Spec.App,
 			Class:       t.Job.Spec.Class,
 			Kind:        t.Kind,
-			MachineID:   t.Machine.ID,
-			MachineType: t.Machine.Spec.Name,
+			MachineID:   t.Machine.ID(),
+			MachineType: t.Machine.Spec().Name,
 			Start:       t.Start,
 			Finish:      t.Finish,
 			EstJoules:   t.EstJoules,

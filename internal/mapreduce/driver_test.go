@@ -120,7 +120,7 @@ func TestEnergyConservation(t *testing.T) {
 
 	var idleFloor float64
 	for _, m := range c.Machines() {
-		idleFloor += m.Spec.IdleWatts * stats.Horizon.Seconds()
+		idleFloor += m.Spec().IdleWatts * stats.Horizon.Seconds()
 	}
 	if stats.TotalJoules < idleFloor {
 		t.Errorf("metered %v J below idle floor %v J", stats.TotalJoules, idleFloor)

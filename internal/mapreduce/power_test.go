@@ -105,7 +105,7 @@ func TestConsolidationWakeLatencyDelaysTasks(t *testing.T) {
 }
 
 func TestMachineSleepWakeSemantics(t *testing.T) {
-	m := cluster.NewMachine(0, cluster.SpecDesktop)
+	m := cluster.MustNew(cluster.Group{Spec: cluster.SpecDesktop, Count: 1}).Machine(0)
 	m.Sleep(3)
 	if !m.Asleep() {
 		t.Fatal("machine not asleep")

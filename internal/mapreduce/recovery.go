@@ -21,7 +21,7 @@ func (d *Driver) failAttempt(t *Task) {
 	m := t.Machine
 	d.detachRunning(t)
 	if d.lastBusy != nil {
-		d.lastBusy[m.ID] = d.engine.Now()
+		d.lastBusy[m.ID()] = d.engine.Now()
 	}
 	d.stats.TaskFailures++
 	d.noteMachineFailure(m)
@@ -123,12 +123,12 @@ func (d *Driver) crashMachine(id int) {
 
 	m.Fail()
 	if d.probe != nil {
-		d.probe.MachineState(now, m.ID, "crash")
+		d.probe.MachineState(now, m.ID(), "crash")
 	}
 	d.noteAvailabilityChange(m)
-	d.totalSlots -= m.Spec.Slots()
-	d.totalMapSlots -= m.Spec.MapSlots
-	d.totalReduceSlots -= m.Spec.ReduceSlots
+	d.totalSlots -= m.Spec().Slots()
+	d.totalMapSlots -= m.Spec().MapSlots
+	d.totalReduceSlots -= m.Spec().ReduceSlots
 	d.stats.Crashes++
 	d.mutated("crash")
 }
@@ -140,7 +140,7 @@ func (d *Driver) crashMachine(id int) {
 // reduces still shuffling; they are re-finalized when the barrier passes
 // again. Reduces already in their compute phase keep running — they have
 // fetched their input.
-func (d *Driver) reexecuteLostMaps(j *Job, m *cluster.Machine) {
+func (d *Driver) reexecuteLostMaps(j *Job, m cluster.Machine) {
 	if len(j.Reduces) == 0 || j.reducesDone == len(j.Reduces) {
 		return
 	}
@@ -178,9 +178,9 @@ func (d *Driver) recoverMachine(id int) {
 	now := d.engine.Now()
 	d.meter.Sync(m, now)
 	m.Repair()
-	d.totalSlots += m.Spec.Slots()
-	d.totalMapSlots += m.Spec.MapSlots
-	d.totalReduceSlots += m.Spec.ReduceSlots
+	d.totalSlots += m.Spec().Slots()
+	d.totalMapSlots += m.Spec().MapSlots
+	d.totalReduceSlots += m.Spec().ReduceSlots
 	if d.lastBusy != nil {
 		d.lastBusy[id] = now
 	}
@@ -189,7 +189,7 @@ func (d *Driver) recoverMachine(id int) {
 		d.blacklistUntil[id] = 0
 	}
 	if d.probe != nil {
-		d.probe.MachineState(now, m.ID, "recover")
+		d.probe.MachineState(now, m.ID(), "recover")
 	}
 	d.noteAvailabilityChange(m)
 	d.stats.Recoveries++
@@ -245,18 +245,18 @@ func (d *Driver) failJob(j *Job) {
 
 // noteMachineFailure charges one attempt failure against the machine;
 // reaching the threshold benches it for the blacklist cooldown.
-func (d *Driver) noteMachineFailure(m *cluster.Machine) {
+func (d *Driver) noteMachineFailure(m cluster.Machine) {
 	cfg := d.faults.Config()
 	if cfg.BlacklistThreshold <= 0 {
 		return
 	}
-	d.failCount[m.ID]++
-	if d.failCount[m.ID] >= cfg.BlacklistThreshold {
-		d.blacklistUntil[m.ID] = d.engine.Now() + cfg.BlacklistCooldown
-		d.failCount[m.ID] = 0
+	d.failCount[m.ID()]++
+	if d.failCount[m.ID()] >= cfg.BlacklistThreshold {
+		d.blacklistUntil[m.ID()] = d.engine.Now() + cfg.BlacklistCooldown
+		d.failCount[m.ID()] = 0
 		d.stats.Blacklists++
 		if d.probe != nil {
-			d.probe.MachineState(d.engine.Now(), m.ID, "blacklist")
+			d.probe.MachineState(d.engine.Now(), m.ID(), "blacklist")
 		}
 		d.reclassify(m)
 	}

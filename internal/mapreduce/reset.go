@@ -90,7 +90,7 @@ func (d *Driver) Reset(sched Scheduler, cfg Config) error {
 	// NewDriver's order (exclusions, then the covering subset).
 	for _, typeName := range cfg.ComputeOnlyTypes {
 		for _, m := range d.cluster.ByType(typeName) {
-			d.ns.ExcludeFromPlacement(m.ID)
+			d.ns.ExcludeFromPlacement(m.ID())
 		}
 	}
 	if cfg.Power.Enabled {
@@ -111,8 +111,8 @@ func (d *Driver) Reset(sched Scheduler, cfg Config) error {
 				n = len(machines)
 			}
 			for i := 0; i < n; i++ {
-				d.covering[machines[i].ID] = true
-				coveringIDs = append(coveringIDs, machines[i].ID)
+				d.covering[machines[i].ID()] = true
+				coveringIDs = append(coveringIDs, machines[i].ID())
 			}
 		}
 		d.ns.PreferFirstReplicaOn(coveringIDs)
@@ -147,14 +147,14 @@ func (d *Driver) resetAggregates() {
 	}
 	awake := &a.byClass[classAwake]
 	for _, m := range d.cluster.Machines() {
-		spec := m.Spec
-		a.freeMap[m.ID] = spec.MapSlots
-		a.freeReduce[m.ID] = spec.ReduceSlots
+		spec := m.Spec()
+		a.freeMap[m.ID()] = spec.MapSlots
+		a.freeReduce[m.ID()] = spec.ReduceSlots
 		awake.mapSlots += spec.MapSlots
 		awake.reduceSlots += spec.ReduceSlots
 		awake.freeMap += spec.MapSlots
 		awake.freeReduce += spec.ReduceSlots
-		a.freeReduceByType[a.typeIdx[m.ID]] += spec.ReduceSlots
+		a.freeReduceByType[a.typeIdx[m.ID()]] += spec.ReduceSlots
 	}
 }
 

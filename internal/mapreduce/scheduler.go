@@ -21,9 +21,9 @@ type Scheduler interface {
 	// Name identifies the policy in reports ("Fair", "Tarazu", "E-Ant"...).
 	Name() string
 	// AssignMap selects a pending map task to run on m, or nil.
-	AssignMap(ctx *Context, m *cluster.Machine) *Task
+	AssignMap(ctx *Context, m cluster.Machine) *Task
 	// AssignReduce selects a ready reduce task to run on m, or nil.
-	AssignReduce(ctx *Context, m *cluster.Machine) *Task
+	AssignReduce(ctx *Context, m cluster.Machine) *Task
 	// OnTaskComplete observes a finished task with its energy estimate.
 	OnTaskComplete(ctx *Context, t *Task)
 	// OnControlTick fires at every control-interval boundary.
@@ -36,7 +36,7 @@ type Scheduler interface {
 // indices (E-Ant's trail-ranked free-slot counters) current without
 // rescanning machines on every offer.
 type SlotObserver interface {
-	OnSlotFreeChange(ctx *Context, m *cluster.Machine, kind TaskKind, delta int)
+	OnSlotFreeChange(ctx *Context, m cluster.Machine, kind TaskKind, delta int)
 }
 
 // mapEstKey keys the driver's memo of map-service estimates: workload
@@ -129,17 +129,17 @@ func (c *Context) FairShare(j *Job) float64 {
 
 // HasLocalMap reports whether job j still has a pending map task whose
 // input block has a replica on machine m.
-func (c *Context) HasLocalMap(j *Job, m *cluster.Machine) bool {
-	return j.peekPendingLocalMap(m.ID)
+func (c *Context) HasLocalMap(j *Job, m cluster.Machine) bool {
+	return j.peekPendingLocalMap(m.ID())
 }
 
 // PopMapPreferLocal removes and returns a pending map of j, choosing a
 // block-local task for m when one exists. The pending aggregate is updated
 // by the operation's observed delta: a local pop leaves its FIFO entry
 // behind (delta 0), exactly reproducing the lazy-queue count.
-func (c *Context) PopMapPreferLocal(j *Job, m *cluster.Machine) *Task {
+func (c *Context) PopMapPreferLocal(j *Job, m cluster.Machine) *Task {
 	before := j.PendingMaps()
-	t := j.popLocalMap(m.ID)
+	t := j.popLocalMap(m.ID())
 	if t == nil {
 		t = j.popAnyMap()
 	}

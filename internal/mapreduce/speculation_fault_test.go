@@ -23,10 +23,10 @@ type eagerCloner struct {
 
 func (s *eagerCloner) Name() string { return "eager-clone" }
 
-func (s *eagerCloner) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (s *eagerCloner) AssignMap(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	for _, j := range ctx.ActiveJobs() {
 		for _, t := range j.RunningAttempts(mapreduce.MapTask) {
-			if t.Machine != nil && t.Machine.ID != m.ID {
+			if t.Machine.Valid() && t.Machine.ID() != m.ID() {
 				if c := ctx.CloneForSpeculation(t); c != nil {
 					return c
 				}
@@ -36,7 +36,7 @@ func (s *eagerCloner) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *map
 	return s.inner.AssignMap(ctx, m)
 }
 
-func (s *eagerCloner) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (s *eagerCloner) AssignReduce(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	return s.inner.AssignReduce(ctx, m)
 }
 

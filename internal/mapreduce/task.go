@@ -66,7 +66,7 @@ type Task struct {
 	InputMB float64
 
 	State   TaskState
-	Machine *cluster.Machine
+	Machine cluster.Machine
 	Local   bool // map read its block from local disk
 
 	Start  time.Duration
@@ -126,7 +126,7 @@ func (t *Task) resetForRetry() {
 		panic(fmt.Sprintf("mapreduce: retry of %s with live race link", t.ID()))
 	}
 	t.State = TaskPending
-	t.Machine = nil
+	t.Machine = cluster.Machine{}
 	t.Local = false
 	t.Start = 0
 	t.Finish = 0
@@ -243,7 +243,7 @@ func newJob(spec workload.JobSpec, replicasOf func(block int) []int) *Job {
 			InputMB: spec.MapInputMB(i),
 			State:   TaskPending,
 		}
-		j.Maps[i] = &maps[i]
+		j.Maps[i] = &maps[i] //eant:retain-ok batch array sized to NumMaps above and never appended to
 		j.pendingMaps[i] = i
 		j.mapReplicas[i] = replicasOf(i)
 		for _, machineID := range j.mapReplicas[i] {
@@ -261,7 +261,7 @@ func newJob(spec workload.JobSpec, replicasOf func(block int) []int) *Job {
 			InputMB: spec.ShuffleMBPerReduce(),
 			State:   TaskPending,
 		}
-		j.Reduces[i] = &reduces[i]
+		j.Reduces[i] = &reduces[i] //eant:retain-ok batch array sized to NumReduces above and never appended to
 		j.pendingReduces[i] = i
 	}
 	return j

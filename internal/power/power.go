@@ -57,16 +57,16 @@ func (mt *Meter) Reset() {
 // Sync accrues energy for machine m at its current power draw from the last
 // sync point up to now. Call it before every utilization change and before
 // reading totals.
-func (mt *Meter) Sync(m *cluster.Machine, now time.Duration) {
-	last := mt.lastSync[m.ID]
+func (mt *Meter) Sync(m cluster.Machine, now time.Duration) {
+	last := mt.lastSync[m.ID()]
 	if now < last {
 		panic(fmt.Sprintf("power: Sync(%s) at %v before last sync %v", m, now, last))
 	}
 	secs := (now - last).Seconds()
-	mt.joules[m.ID] += m.Power() * secs
-	mt.utilSecs[m.ID] += m.Utilization() * secs
-	mt.busySlots[m.ID] += float64(m.Running()) * secs
-	mt.lastSync[m.ID] = now
+	mt.joules[m.ID()] += m.Power() * secs
+	mt.utilSecs[m.ID()] += m.Utilization() * secs
+	mt.busySlots[m.ID()] += float64(m.Running()) * secs
+	mt.lastSync[m.ID()] = now
 }
 
 // AvgUtilization returns machine id's time-averaged CPU utilization over
@@ -84,8 +84,8 @@ func (mt *Meter) TypeAvgUtilization(horizon time.Duration) map[string]float64 {
 	sums := make(map[string]float64)
 	counts := make(map[string]int)
 	for _, m := range mt.cluster.Machines() {
-		sums[m.Spec.Name] += mt.AvgUtilization(m.ID, horizon)
-		counts[m.Spec.Name]++
+		sums[m.Spec().Name] += mt.AvgUtilization(m.ID(), horizon)
+		counts[m.Spec().Name]++
 	}
 	out := make(map[string]float64, len(sums))
 	for name, s := range sums {
@@ -118,7 +118,7 @@ func (mt *Meter) TotalJoules() float64 {
 func (mt *Meter) TypeJoules() map[string]float64 {
 	out := make(map[string]float64)
 	for _, m := range mt.cluster.Machines() {
-		out[m.Spec.Name] += mt.joules[m.ID]
+		out[m.Spec().Name] += mt.joules[m.ID()]
 	}
 	return out
 }

@@ -117,7 +117,7 @@ func (c *Capacity) assign(ctx *mapreduce.Context, eligible func(*mapreduce.Job) 
 }
 
 // AssignMap implements mapreduce.Scheduler.
-func (c *Capacity) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (c *Capacity) AssignMap(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	j, qi := c.assign(ctx, func(j *mapreduce.Job) bool { return j.PendingMaps() > 0 })
 	if j == nil {
 		return nil
@@ -130,7 +130,7 @@ func (c *Capacity) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapred
 }
 
 // AssignReduce implements mapreduce.Scheduler.
-func (c *Capacity) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (c *Capacity) AssignReduce(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	j, qi := c.assign(ctx, func(j *mapreduce.Job) bool { return ctx.ReduceReady(j) }) //eant:alloc-ok non-escaping predicate, stack-allocated
 	if j == nil {
 		return nil

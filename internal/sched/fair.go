@@ -68,7 +68,7 @@ func neediest(ctx *mapreduce.Context, eligible func(*mapreduce.Job) bool) *mapre
 }
 
 // AssignMap implements mapreduce.Scheduler.
-func (f *Fair) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (f *Fair) AssignMap(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	if f.LocalityWaitTicks <= 0 {
 		j := neediest(ctx, func(j *mapreduce.Job) bool { return j.PendingMaps() > 0 })
 		if j == nil {
@@ -105,7 +105,7 @@ func (f *Fair) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.
 }
 
 // AssignReduce implements mapreduce.Scheduler.
-func (f *Fair) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (f *Fair) AssignReduce(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	j := neediest(ctx, func(j *mapreduce.Job) bool { return ctx.ReduceReady(j) }) //eant:alloc-ok non-escaping predicate, stack-allocated
 	if j == nil {
 		return nil

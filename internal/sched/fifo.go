@@ -25,7 +25,7 @@ func (f *FIFO) Name() string { return "FIFO" }
 func (f *FIFO) ResetForRun() {}
 
 // AssignMap hands m the oldest job's next map task, local block preferred.
-func (f *FIFO) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (f *FIFO) AssignMap(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	for _, j := range ctx.ActiveJobs() {
 		if j.PendingMaps() == 0 {
 			continue
@@ -38,7 +38,7 @@ func (f *FIFO) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.
 }
 
 // AssignReduce hands m the oldest ready job's next reduce task.
-func (f *FIFO) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (f *FIFO) AssignReduce(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	for _, j := range ctx.ActiveJobs() {
 		if !ctx.ReduceReady(j) {
 			continue

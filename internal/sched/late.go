@@ -47,7 +47,7 @@ func (l *LATE) ResetForRun() {
 
 // AssignMap implements mapreduce.Scheduler: normal fair assignment first,
 // speculation only with spare slots.
-func (l *LATE) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (l *LATE) AssignMap(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	if t := l.fair.AssignMap(ctx, m); t != nil {
 		return t
 	}
@@ -55,7 +55,7 @@ func (l *LATE) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.
 }
 
 // AssignReduce implements mapreduce.Scheduler.
-func (l *LATE) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (l *LATE) AssignReduce(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	if t := l.fair.AssignReduce(ctx, m); t != nil {
 		return t
 	}
@@ -64,7 +64,7 @@ func (l *LATE) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapredu
 
 // speculate scans active jobs (submission order) for the worst straggler
 // of the given kind whose clone could run on m, and clones it.
-func (l *LATE) speculate(ctx *mapreduce.Context, m *cluster.Machine, kind mapreduce.TaskKind) *mapreduce.Task {
+func (l *LATE) speculate(ctx *mapreduce.Context, m cluster.Machine, kind mapreduce.TaskKind) *mapreduce.Task {
 	now := ctx.Now()
 	var worst *mapreduce.Task
 	worstRatio := l.SpeculationFactor
@@ -90,14 +90,14 @@ func (l *LATE) speculate(ctx *mapreduce.Context, m *cluster.Machine, kind mapred
 			if t.State != mapreduce.TaskRunning || t.HasClone() || t.Speculative() {
 				continue
 			}
-			if t.Machine != nil && t.Machine.ID == m.ID {
+			if t.Machine.Valid() && t.Machine.ID() == m.ID() {
 				// Re-running on the same (possibly slow or noisy)
 				// machine defeats the purpose.
 				continue
 			}
-			expected := ctx.EstimateMapSeconds(j, t.Machine.Spec)
+			expected := ctx.EstimateMapSeconds(j, t.Machine.Spec())
 			if kind == mapreduce.ReduceTask {
-				expected = ctx.EstimateReduceSeconds(j, t.Machine.Spec)
+				expected = ctx.EstimateReduceSeconds(j, t.Machine.Spec())
 			}
 			if expected <= 0 {
 				continue

@@ -182,7 +182,7 @@ type cloneEverything struct{ fair sched.Fair }
 
 func (c *cloneEverything) Name() string { return "CloneEverything" }
 
-func (c *cloneEverything) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (c *cloneEverything) AssignMap(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	if t := c.fair.AssignMap(ctx, m); t != nil {
 		return t
 	}
@@ -196,7 +196,7 @@ func (c *cloneEverything) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) 
 	return nil
 }
 
-func (c *cloneEverything) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (c *cloneEverything) AssignReduce(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	return c.fair.AssignReduce(ctx, m)
 }
 

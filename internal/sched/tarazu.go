@@ -68,10 +68,10 @@ func (t *Tarazu) init(ctx *mapreduce.Context) {
 	t.started = make([]int, len(machines))
 	var total float64
 	for _, m := range machines {
-		total += capability(m.Spec)
+		total += capability(m.Spec())
 	}
 	for i, m := range machines {
-		t.capShare[i] = capability(m.Spec) / total
+		t.capShare[i] = capability(m.Spec()) / total
 	}
 }
 
@@ -98,7 +98,7 @@ func (t *Tarazu) advantage(ctx *mapreduce.Context, j *mapreduce.Job, spec *clust
 // (performance affinity), preferring data-local work; remote tasks are
 // additionally gated by the machine's capability share so slow machines
 // cannot swamp the network pulling blocks they process slowly.
-func (t *Tarazu) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (t *Tarazu) AssignMap(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	t.init(ctx)
 	var best *mapreduce.Job
 	bestScore := 0.0
@@ -106,7 +106,7 @@ func (t *Tarazu) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduc
 		if j.PendingMaps() == 0 {
 			continue
 		}
-		score := t.advantage(ctx, j, m.Spec)
+		score := t.advantage(ctx, j, m.Spec())
 		if ctx.HasLocalMap(j, m) {
 			score *= t.localBoost
 		}
@@ -121,8 +121,8 @@ func (t *Tarazu) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduc
 	if !ctx.HasLocalMap(best, m) && t.totalStarted > 0 {
 		// Remote work: only if this machine has not exceeded its share
 		// of the fleet's map throughput.
-		share := float64(t.started[m.ID]+1) / float64(t.totalStarted+1)
-		if share > t.capShare[m.ID]*t.slack {
+		share := float64(t.started[m.ID()]+1) / float64(t.totalStarted+1)
+		if share > t.capShare[m.ID()]*t.slack {
 			return nil
 		}
 	}
@@ -133,14 +133,14 @@ func (t *Tarazu) AssignMap(ctx *mapreduce.Context, m *cluster.Machine) *mapreduc
 	return task
 }
 
-func (t *Tarazu) note(m *cluster.Machine) {
-	t.started[m.ID]++
+func (t *Tarazu) note(m cluster.Machine) {
+	t.started[m.ID()]++
 	t.totalStarted++
 }
 
 // AssignReduce implements mapreduce.Scheduler: reduces follow the same
 // comparative-speed affinity over reduce compute time.
-func (t *Tarazu) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapreduce.Task {
+func (t *Tarazu) AssignReduce(ctx *mapreduce.Context, m cluster.Machine) *mapreduce.Task {
 	t.init(ctx)
 	var best *mapreduce.Job
 	bestScore := 0.0
@@ -154,7 +154,7 @@ func (t *Tarazu) AssignReduce(ctx *mapreduce.Context, m *cluster.Machine) *mapre
 			mean += ctx.EstimateReduceSeconds(j, s)
 		}
 		mean /= float64(len(specs))
-		own := ctx.EstimateReduceSeconds(j, m.Spec)
+		own := ctx.EstimateReduceSeconds(j, m.Spec())
 		score := 1.0
 		if own > 0 {
 			score = mean / own
